@@ -1,0 +1,67 @@
+// Command phpfbench regenerates the paper's evaluation tables (§5) on the
+// simulated machine: Table 1 (TOMCATV under three scalar-mapping levels),
+// Table 2 (DGEFA with and without reduction alignment), and Table 3 (APPSP
+// under 1-D/2-D distributions with privatization toggles).
+//
+// Usage:
+//
+//	phpfbench                 # all tables at the default (scaled) sizes
+//	phpfbench -table 1        # one table
+//	phpfbench -large          # closer to the paper's sizes (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phpf"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table to run (1, 2, 3; 0 = all)")
+	large := flag.Bool("large", false, "use sizes closer to the paper's (slower)")
+	maxSec := flag.Float64("max", 100, "per-run simulated-time abort threshold in seconds (the paper's '1 day' scaled to our problem sizes; 0 = unlimited)")
+	flag.Parse()
+
+	procs := []int{1, 2, 4, 8, 16}
+
+	tomN, tomIter := 129, 5
+	dgeN := 128
+	apN, apIter := 16, 3
+	if *large {
+		tomN, tomIter = 257, 10
+		dgeN = 256
+		apN, apIter = 24, 5
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "phpfbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *table == 0 || *table == 1 {
+		rows, err := phpf.Table1TOMCATV(tomN, tomIter, procs, *maxSec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatTable1(tomN, tomIter, rows))
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		rows, err := phpf.Table2DGEFA(dgeN, procs[1:], *maxSec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatTable2(dgeN, rows))
+		fmt.Println()
+	}
+	if *table == 0 || *table == 3 {
+		rows, err := phpf.Table3APPSP(apN, apN, apN, apIter, procs[1:], *maxSec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatTable3(apN, apN, apN, apIter, rows))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,77 @@
+// Command phpfc is the compiler driver: it parses and analyzes a mini-HPF
+// program and prints the mapping decisions, the communication plan, and the
+// generated SPMD form.
+//
+// Usage:
+//
+//	phpfc [-p procs] [-opt naive|producer|selected] [-dump mapping|comm|spmd|all] file.f
+//	phpfc -figure figure1          # analyze one of the paper's figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phpf"
+)
+
+func main() {
+	procs := flag.Int("p", 16, "number of processors")
+	level := flag.String("opt", "selected", "optimization level: naive, producer, selected")
+	dump := flag.String("dump", "all", "what to print: mapping, comm, spmd, all")
+	figure := flag.String("figure", "", "analyze a paper figure instead of a file (figure1, figure2, figure4, figure5, figure6, figure7)")
+	flag.Parse()
+
+	var source string
+	switch {
+	case *figure != "":
+		s, ok := phpf.FigureSource(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfc: unknown figure %q; available: %v\n", *figure, phpf.FigureNames())
+			os.Exit(2)
+		}
+		source = s
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpfc: %v\n", err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: phpfc [-p procs] [-opt level] [-dump what] file.f | -figure name")
+		os.Exit(2)
+	}
+
+	var opts phpf.Options
+	switch *level {
+	case "naive":
+		opts = phpf.NaiveOptions()
+	case "producer":
+		opts = phpf.ProducerOptions()
+	case "selected":
+		opts = phpf.SelectedOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "phpfc: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	c, err := phpf.Compile(source, *procs, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpfc: %v\n", err)
+		os.Exit(1)
+	}
+	if *dump == "mapping" || *dump == "all" {
+		fmt.Println("=== mapping decisions ===")
+		fmt.Print(c.MappingReport())
+	}
+	if *dump == "comm" || *dump == "all" {
+		fmt.Println("=== communication plan ===")
+		fmt.Print(c.CommReport())
+	}
+	if *dump == "spmd" || *dump == "all" {
+		fmt.Println("=== SPMD program ===")
+		fmt.Print(c.DumpSPMD())
+	}
+}

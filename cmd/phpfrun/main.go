@@ -1,0 +1,89 @@
+// Command phpfrun compiles a mini-HPF program and executes it on the
+// simulated SP2-style machine, reporting execution time and communication
+// statistics.
+//
+// Usage:
+//
+//	phpfrun [-p procs] [-opt naive|producer|selected] [-max seconds] file.f
+//	phpfrun -tomcatv -n 129 -iters 5 -p 16
+//	phpfrun -dgefa -n 128 -p 8
+//	phpfrun -appsp -n 16 -iters 2 -2d -p 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phpf"
+)
+
+func main() {
+	procs := flag.Int("p", 16, "number of processors")
+	level := flag.String("opt", "selected", "optimization level: naive, producer, selected")
+	maxSec := flag.Float64("max", 0, "abort after this much simulated time (0 = unlimited)")
+	profile := flag.Bool("profile", false, "print per-statement time attribution")
+	tomcatv := flag.Bool("tomcatv", false, "run the built-in TOMCATV kernel")
+	dgefa := flag.Bool("dgefa", false, "run the built-in DGEFA kernel")
+	appsp := flag.Bool("appsp", false, "run the built-in APPSP kernel")
+	twoD := flag.Bool("2d", false, "APPSP: use the 2-D distribution")
+	n := flag.Int("n", 129, "built-in kernel size")
+	iters := flag.Int("iters", 5, "built-in kernel iterations")
+	flag.Parse()
+
+	var source string
+	switch {
+	case *tomcatv:
+		source = phpf.TOMCATVSource(*n, *iters)
+	case *dgefa:
+		source = phpf.DGEFASource(*n)
+	case *appsp:
+		source = phpf.APPSPSource(*n, *n, *n, *iters, *twoD)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: phpfrun [-p procs] [-opt level] file.f | -tomcatv|-dgefa|-appsp [-n size] [-iters k]")
+		os.Exit(2)
+	}
+
+	var opts phpf.Options
+	switch *level {
+	case "naive":
+		opts = phpf.NaiveOptions()
+	case "producer":
+		opts = phpf.ProducerOptions()
+	case "selected":
+		opts = phpf.SelectedOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "phpfrun: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	c, err := phpf.Compile(source, *procs, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := c.Run(phpf.RunConfig{MaxSeconds: *maxSec, Profile: *profile})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
+		os.Exit(1)
+	}
+	status := ""
+	if out.Aborted {
+		status = " (aborted at limit)"
+	}
+	fmt.Printf("processors:     %d\n", *procs)
+	fmt.Printf("optimization:   %s\n", *level)
+	fmt.Printf("simulated time: %.6f s%s\n", out.Time, status)
+	fmt.Printf("communication:  %v\n", out.Stats)
+	if *profile {
+		fmt.Println("hot statements:")
+		fmt.Print(phpf.FormatProfile(out.Profile, 10))
+	}
+}

@@ -1,0 +1,44 @@
+// DGEFA: reproduce the paper's Table 2 experiment — gaussian elimination
+// with partial pivoting under a column-cyclic distribution, with and
+// without the §2.3 reduction-variable alignment. The pivot search is a
+// conditional maxloc reduction; aligning its variables confines the search
+// to the processor owning the current column.
+//
+//	go run ./examples/dgefa [-n 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"phpf"
+)
+
+func main() {
+	n := flag.Int("n", 128, "matrix size")
+	flag.Parse()
+
+	rows, err := phpf.Table2DGEFA(*n, []int{2, 4, 8, 16}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(phpf.FormatTable2(*n, rows))
+
+	fmt.Println("\nCommunication overhead share (default column):")
+	for _, r := range rows {
+		over := r.Default.Seconds - r.Aligned.Seconds
+		fmt.Printf("  P=%2d: %.4f s overhead (%.0f%% of the default run)\n",
+			r.Procs, over, 100*over/r.Default.Seconds)
+	}
+	fmt.Println("\nThe paper observes the overhead staying roughly constant while its")
+	fmt.Println("share of the execution time grows with the processor count.")
+
+	// Show where the pivot-search variables were placed.
+	c, err := phpf.Compile(phpf.DGEFASource(*n), 8, phpf.SelectedOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMapping decisions (aligned compiler):")
+	fmt.Print(c.MappingReport())
+}

@@ -1,0 +1,3 @@
+module phpf
+
+go 1.22

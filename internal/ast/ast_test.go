@@ -1,0 +1,188 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprString(t *testing.T) {
+	e := &BinOp{
+		Op: Add,
+		L:  &Ref{Name: "a", Subs: []Expr{&Ref{Name: "i"}}},
+		R:  &BinOp{Op: Mul, L: &IntConst{Value: 2}, R: &RealConst{Value: 0.5}},
+	}
+	if got := ExprString(e); got != "(a(i) + (2 * 0.5))" {
+		t.Errorf("got %q", got)
+	}
+	if got := ExprString(&UnaryMinus{X: &Ref{Name: "x"}}); got != "(-x)" {
+		t.Errorf("got %q", got)
+	}
+	if got := ExprString(&Not{X: &Ref{Name: "p"}}); got != "(not p)" {
+		t.Errorf("got %q", got)
+	}
+	if got := ExprString(&Call{Name: "max", Args: []Expr{&Ref{Name: "a"}, &Ref{Name: "b"}}}); got != "max(a,b)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOpStringAndRelational(t *testing.T) {
+	cases := map[Op]string{
+		Add: "+", Sub: "-", Mul: "*", Div: "/",
+		OpEq: "==", OpNe: "/=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "and", OpOr: "or",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	for _, op := range []Op{Add, Sub, Mul, Div} {
+		if op.IsRelational() {
+			t.Errorf("%v should not be relational", op)
+		}
+	}
+	for _, op := range []Op{OpEq, OpLt, OpAnd} {
+		if !op.IsRelational() {
+			t.Errorf("%v should be relational", op)
+		}
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	e := &BinOp{
+		Op: Add,
+		L:  &Call{Name: "abs", Args: []Expr{&Ref{Name: "a", Subs: []Expr{&Ref{Name: "i"}}}}},
+		R:  &UnaryMinus{X: &Ref{Name: "b"}},
+	}
+	n := 0
+	Walk(e, func(Expr) { n++ })
+	// BinOp, Call, Ref a, Ref i, UnaryMinus, Ref b.
+	if n != 6 {
+		t.Errorf("visited %d nodes, want 6", n)
+	}
+}
+
+func TestRefsCollectsInOrder(t *testing.T) {
+	e := &BinOp{
+		Op: Add,
+		L:  &Ref{Name: "a", Subs: []Expr{&Ref{Name: "i"}}},
+		R:  &Ref{Name: "b"},
+	}
+	refs := Refs(e)
+	var names []string
+	for _, r := range refs {
+		names = append(names, r.Name)
+	}
+	if strings.Join(names, ",") != "a,i,b" {
+		t.Errorf("refs = %v", names)
+	}
+}
+
+func TestWalkStmtsRecurses(t *testing.T) {
+	inner := &Assign{Lhs: &Ref{Name: "x"}, Rhs: &IntConst{Value: 1}}
+	prog := []Stmt{
+		&DoLoop{Var: "i", Lo: &IntConst{Value: 1}, Hi: &IntConst{Value: 2},
+			Body: []Stmt{
+				&If{Cond: &Ref{Name: "c"}, Then: []Stmt{inner},
+					Else: []Stmt{&Goto{Label: 10}}},
+			}},
+		&Continue{Label: 10},
+	}
+	var kinds []string
+	WalkStmts(prog, func(s Stmt) {
+		switch s.(type) {
+		case *DoLoop:
+			kinds = append(kinds, "do")
+		case *If:
+			kinds = append(kinds, "if")
+		case *Assign:
+			kinds = append(kinds, "assign")
+		case *Goto:
+			kinds = append(kinds, "goto")
+		case *Continue:
+			kinds = append(kinds, "continue")
+		}
+	})
+	if strings.Join(kinds, ",") != "do,if,assign,goto,continue" {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestVarDeclHelpers(t *testing.T) {
+	s := &VarDecl{Name: "x", Type: Real}
+	if s.IsArray() {
+		t.Error("scalar reported as array")
+	}
+	a := &VarDecl{Name: "a", Type: Integer, Dims: []Expr{&IntConst{Value: 4}}}
+	if !a.IsArray() {
+		t.Error("array not reported")
+	}
+	if Integer.String() != "integer" || Real.String() != "real" {
+		t.Error("type names wrong")
+	}
+}
+
+func TestDistKindString(t *testing.T) {
+	if DistBlock.String() != "block" || DistCyclic.String() != "cyclic" || DistNone.String() != "*" {
+		t.Error("dist kind names wrong")
+	}
+}
+
+func TestAlignSubString(t *testing.T) {
+	cases := []struct {
+		sub  AlignSub
+		want string
+	}{
+		{AlignSub{Star: true}, "*"},
+		{AlignSub{Const: true, Value: 3}, "3"},
+		{AlignSub{Dummy: "i"}, "i"},
+		{AlignSub{Dummy: "i", Offset: 2}, "i+2"},
+		{AlignSub{Dummy: "i", Offset: -1}, "i-1"},
+	}
+	for _, c := range cases {
+		if got := c.sub.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStmtPositions(t *testing.T) {
+	stmts := []Stmt{
+		&Assign{Line: 1},
+		&DoLoop{Line: 2},
+		&If{Line: 3},
+		&IfGoto{Line: 4},
+		&Goto{Line: 5},
+		&Continue{Line: 6},
+		&Redistribute{Line: 7},
+	}
+	for i, s := range stmts {
+		if s.Pos() != i+1 {
+			t.Errorf("stmt %d: Pos = %d", i, s.Pos())
+		}
+	}
+}
+
+func TestPrintProgram(t *testing.T) {
+	p := &Program{
+		Name:   "t",
+		Params: []*Param{{Name: "n", Value: 8}},
+		Decls: []*VarDecl{
+			{Name: "a", Type: Real, Dims: []Expr{&Ref{Name: "n"}}},
+			{Name: "x", Type: Real},
+		},
+		Dirs: []Directive{
+			&DistributeDir{Formats: []DistFormat{{Kind: DistBlock}}, Arrays: []string{"a"}},
+		},
+		Body: []Stmt{
+			&Assign{Lhs: &Ref{Name: "x"}, Rhs: &RealConst{Value: 1.5}},
+		},
+	}
+	out := Print(p)
+	for _, want := range []string{"program t", "parameter n = 8", "real a(n)",
+		"!hpf$ distribute (block) :: a", "x = 1.5", "end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed program missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to (normalized) surface syntax. The output
+// round-trips through the parser and is used by golden tests and the
+// compiler's -dump-ast mode.
+func Print(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, pa := range p.Params {
+		fmt.Fprintf(&b, "parameter %s = %d\n", pa.Name, pa.Value)
+	}
+	for _, d := range p.Decls {
+		if d.IsArray() {
+			dims := make([]string, len(d.Dims))
+			for i, e := range d.Dims {
+				dims[i] = ExprString(e)
+			}
+			fmt.Fprintf(&b, "%s %s(%s)\n", d.Type, d.Name, strings.Join(dims, ","))
+		} else {
+			fmt.Fprintf(&b, "%s %s\n", d.Type, d.Name)
+		}
+	}
+	for _, d := range p.Dirs {
+		b.WriteString(printDirective(d))
+	}
+	printStmts(&b, p.Body, 0)
+	b.WriteString("end\n")
+	return b.String()
+}
+
+func printDirective(d Directive) string {
+	switch x := d.(type) {
+	case *ProcessorsDir:
+		ext := make([]string, len(x.Extents))
+		for i, e := range x.Extents {
+			ext[i] = ExprString(e)
+		}
+		return fmt.Sprintf("!hpf$ processors %s(%s)\n", x.Name, strings.Join(ext, ","))
+	case *DistributeDir:
+		fm := make([]string, len(x.Formats))
+		for i, f := range x.Formats {
+			fm[i] = f.Kind.String()
+		}
+		return fmt.Sprintf("!hpf$ distribute (%s) :: %s\n",
+			strings.Join(fm, ","), strings.Join(x.Arrays, ", "))
+	case *AlignDir:
+		subs := make([]string, len(x.Subs))
+		for i, s := range x.Subs {
+			subs[i] = s.String()
+		}
+		return fmt.Sprintf("!hpf$ align (%s) with %s(%s) :: %s\n",
+			strings.Join(x.Dummies, ","), x.Target,
+			strings.Join(subs, ","), strings.Join(x.Arrays, ", "))
+	}
+	return "!hpf$ ?\n"
+}
+
+// String renders an align subscript.
+func (s AlignSub) String() string {
+	switch {
+	case s.Star:
+		return "*"
+	case s.Const:
+		return fmt.Sprintf("%d", s.Value)
+	case s.Offset > 0:
+		return fmt.Sprintf("%s+%d", s.Dummy, s.Offset)
+	case s.Offset < 0:
+		return fmt.Sprintf("%s-%d", s.Dummy, -s.Offset)
+	default:
+		return s.Dummy
+	}
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, ExprString(x.Lhs), ExprString(x.Rhs))
+		case *DoLoop:
+			for _, d := range x.Dirs {
+				b.WriteString(ind + "!hpf$ ")
+				var parts []string
+				if d.Independent {
+					parts = append(parts, "independent")
+				}
+				if d.NoDeps {
+					parts = append(parts, "nodeps")
+				}
+				line := strings.Join(parts, ", ")
+				if len(d.New) > 0 {
+					line += ", new(" + strings.Join(d.New, ",") + ")"
+				}
+				b.WriteString(line + "\n")
+			}
+			fmt.Fprintf(b, "%sdo %s = %s, %s", ind, x.Var, ExprString(x.Lo), ExprString(x.Hi))
+			if x.Step != nil {
+				fmt.Fprintf(b, ", %s", ExprString(x.Step))
+			}
+			b.WriteString("\n")
+			printStmts(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%send do\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) then\n", ind, ExprString(x.Cond))
+			printStmts(b, x.Then, depth+1)
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%selse\n", ind)
+				printStmts(b, x.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%send if\n", ind)
+		case *IfGoto:
+			fmt.Fprintf(b, "%sif (%s) goto %d\n", ind, ExprString(x.Cond), x.Label)
+		case *Goto:
+			fmt.Fprintf(b, "%sgoto %d\n", ind, x.Label)
+		case *Continue:
+			fmt.Fprintf(b, "%s%d continue\n", ind, x.Label)
+		case *Redistribute:
+			fm := make([]string, len(x.Formats))
+			for i, f := range x.Formats {
+				fm[i] = f.Kind.String()
+			}
+			fmt.Fprintf(b, "%s!hpf$ redistribute %s(%s)\n", ind, x.Array, strings.Join(fm, ","))
+		}
+	}
+}

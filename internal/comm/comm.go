@@ -1,0 +1,316 @@
+// Package comm performs communication analysis over the mapping decisions:
+// for every right-hand-side / predicate reference it determines whether the
+// data may need to move under owner-computes, classifies the communication
+// (shift / broadcast / point-to-point / general), and computes its placement
+// — the outermost loop out of which the messages can be vectorized (the
+// paper's "message vectorization", the decisive lever between producer and
+// consumer alignment in §2.1).
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phpf/internal/core"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// Requirement is one reference's communication need.
+type Requirement struct {
+	Use  *ir.Ref
+	Stmt *ir.Stmt
+
+	Class  dist.CommClass
+	SrcPat dist.OwnerPattern
+	DstPat dist.OwnerPattern
+
+	// Placement is the loop immediately before whose iterations the
+	// aggregated communication is performed; nil means outside all loops.
+	// When Hoisted is empty the communication is per statement instance
+	// (inner-loop communication).
+	Placement *ir.Loop
+	// Hoisted lists the loops whose iterations are aggregated into one
+	// communication (innermost first). Empty = not vectorizable.
+	Hoisted []*ir.Loop
+}
+
+// Vectorized reports whether the communication is hoisted out of at least
+// one loop.
+func (r *Requirement) Vectorized() bool { return len(r.Hoisted) > 0 }
+
+func (r *Requirement) String() string {
+	where := "per-instance"
+	if r.Vectorized() {
+		where = fmt.Sprintf("hoisted out of %d loop(s)", len(r.Hoisted))
+		if r.Placement != nil {
+			where += fmt.Sprintf(" to %s-loop", r.Placement.Index.Name)
+		} else {
+			where += " to top level"
+		}
+	}
+	return fmt.Sprintf("s%d %s: %s %s", r.Stmt.ID, r.Use, r.Class, where)
+}
+
+// Plan is the communication plan for a program.
+type Plan struct {
+	Res  *core.Result
+	Reqs []*Requirement
+	// ByStmt lists per-instance requirements per statement.
+	ByStmt map[*ir.Stmt][]*Requirement
+	// AtLoop lists vectorized requirements performed at each entry of the
+	// given loop (the outermost hoisted loop), covering all its iterations
+	// in one aggregated communication.
+	AtLoop map[*ir.Loop][]*Requirement
+}
+
+// Analyze builds the communication plan.
+func Analyze(res *core.Result) *Plan {
+	p := &Plan{
+		Res:    res,
+		ByStmt: map[*ir.Stmt][]*Requirement{},
+		AtLoop: map[*ir.Loop][]*Requirement{},
+	}
+	for _, st := range res.Prog.Stmts {
+		switch st.Kind {
+		case ir.SAssign, ir.SIf, ir.SIfGoto, ir.SLoopBounds:
+		default:
+			continue
+		}
+		dst := execPattern(res, st)
+		for _, u := range st.Uses {
+			if u.IsDef {
+				continue
+			}
+			src := res.RefPattern(u)
+			req := analyzeUse(res, st, u, src, dst)
+			if req == nil {
+				continue
+			}
+			p.Reqs = append(p.Reqs, req)
+			if req.Vectorized() {
+				outer := req.Hoisted[len(req.Hoisted)-1]
+				p.AtLoop[outer] = append(p.AtLoop[outer], req)
+			} else {
+				p.ByStmt[st] = append(p.ByStmt[st], req)
+			}
+		}
+	}
+	return p
+}
+
+// execPattern is the symbolic execution set of a statement under the final
+// decisions (see also core's in-flux variant).
+func execPattern(res *core.Result, st *ir.Stmt) dist.OwnerPattern {
+	g := res.Mapping.Grid
+	switch st.Kind {
+	case ir.SAssign:
+		if !st.Lhs.Var.IsArray() {
+			m := res.ScalarOfStmt(st)
+			if m != nil && m.Kind == core.ScalarReduction && m.Red != nil && m.Red.DataRef != nil {
+				// The local partial update executes on the data owners.
+				return res.RefPattern(m.Red.DataRef)
+			}
+			if m != nil && m.Kind == core.ScalarNoAlign {
+				// Executes on the union of the iteration's processors;
+				// approximated by the union pattern of sibling statements.
+				return unionPattern(res, st)
+			}
+			return res.ScalarPattern(m)
+		}
+		return res.RefPattern(st.Lhs)
+	case ir.SIf, ir.SIfGoto:
+		if res.CtrlPrivatized(st) {
+			return unionPattern(res, st)
+		}
+		return dist.ReplicatedPattern(g)
+	default:
+		return dist.ReplicatedPattern(g)
+	}
+}
+
+// unionPattern over-approximates the union of the execution sets of the
+// other statements in the statement's innermost loop body.
+func unionPattern(res *core.Result, st *ir.Stmt) dist.OwnerPattern {
+	g := res.Mapping.Grid
+	if st.Loop == nil {
+		return dist.ReplicatedPattern(g)
+	}
+	var pats []dist.OwnerPattern
+	for _, other := range res.Prog.Stmts {
+		if other == st || other.Kind != ir.SAssign || !ir.Encloses(st.Loop, other.Loop) {
+			continue
+		}
+		if !other.Lhs.Var.IsArray() {
+			m := res.ScalarOfStmt(other)
+			if m == nil || m.Kind == core.ScalarNoAlign {
+				continue
+			}
+			if m.Kind == core.ScalarReduction && m.Red != nil && m.Red.DataRef != nil {
+				pats = append(pats, res.RefPattern(m.Red.DataRef))
+				continue
+			}
+			if m.Kind == core.ScalarReplicated {
+				continue
+			}
+			pats = append(pats, res.ScalarPattern(m))
+			continue
+		}
+		pats = append(pats, res.RefPattern(other.Lhs))
+	}
+	if len(pats) == 0 {
+		return dist.ReplicatedPattern(g)
+	}
+	// Dimension-wise union: dims that agree across all patterns keep their
+	// determination; other dims are widened to all coordinates. Dims whose
+	// determination varies in loops nested inside st.Loop are widened too
+	// (the union ranges over those inner iterations).
+	out := pats[0].Clone()
+	for _, q := range pats[1:] {
+		out = unionDims(out, q)
+	}
+	for d := range out.Dims {
+		if out.Dims[d].Repl {
+			continue
+		}
+		for _, inner := range innerLoops(res.Prog, st.Loop) {
+			if out.Dims[d].Sub.VariesIn(inner) {
+				out.Dims[d] = dist.DimPattern{Repl: true}
+				break
+			}
+		}
+	}
+	return out
+}
+
+func unionDims(a, b dist.OwnerPattern) dist.OwnerPattern {
+	out := a.Clone()
+	for d := range out.Dims {
+		if a.Dims[d].Repl || b.Dims[d].Repl {
+			out.Dims[d] = dist.DimPattern{Repl: true}
+			continue
+		}
+		if !samePatternDim(a.Dims[d], b.Dims[d]) {
+			out.Dims[d] = dist.DimPattern{Repl: true}
+		}
+	}
+	return out
+}
+
+func samePatternDim(a, b dist.DimPattern) bool {
+	pa := dist.OwnerPattern{Dims: []dist.DimPattern{a}}
+	pb := dist.OwnerPattern{Dims: []dist.DimPattern{b}}
+	return dist.Covers(pa, pb) && dist.Covers(pb, pa)
+}
+
+func innerLoops(p *ir.Program, outer *ir.Loop) []*ir.Loop {
+	var out []*ir.Loop
+	for _, l := range p.Loops {
+		if l != outer && ir.Encloses(outer, l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// analyzeUse builds the requirement for one use (nil when no communication
+// can ever be needed).
+func analyzeUse(res *core.Result, st *ir.Stmt, u *ir.Ref, src, dst dist.OwnerPattern) *Requirement {
+	// Values of privatized-without-alignment and replicated scalars are
+	// available wherever they are needed.
+	if src.IsReplicated() {
+		return nil
+	}
+	class := dist.Classify(src, dst)
+	if class == dist.CommNone {
+		return nil
+	}
+	req := &Requirement{Use: u, Stmt: st, Class: class, SrcPat: src, DstPat: dst}
+
+	if res.Opts.DisableVectorization {
+		return req // per-instance (ablation)
+	}
+
+	// Placement: hoist out of enclosing loops while legal.
+	cur := st.Loop
+	for cur != nil && hoistable(res, u, src, dst, cur) {
+		req.Hoisted = append(req.Hoisted, cur)
+		cur = cur.Parent
+	}
+	req.Placement = cur
+	if len(req.Hoisted) == 0 {
+		req.Placement = nil
+	}
+	return req
+}
+
+// hoistable reports whether communication for u can be aggregated out of
+// loop l: the data must not be produced inside l (flow dependence) and both
+// endpoint patterns must be statically enumerable across l's iterations
+// (affine positions).
+func hoistable(res *core.Result, u *ir.Ref, src, dst dist.OwnerPattern, l *ir.Loop) bool {
+	for d := range src.Dims {
+		if !src.Dims[d].Repl && !src.Dims[d].Sub.OK {
+			return false
+		}
+		if !dst.Dims[d].Repl && !dst.Dims[d].Sub.OK {
+			return false
+		}
+	}
+	if u.Var.IsArray() {
+		// A definition of the array inside l defeats hoisting only if it
+		// may produce an element the use reads (Banerjee-style test).
+		for _, st := range res.Prog.Stmts {
+			if st.Kind == ir.SAssign && st.Lhs.Var == u.Var && ir.Encloses(l, st.Loop) {
+				if res.Opts.DisableDependenceTest || ir.MayOverlapAcross(st.Lhs, u, l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Scalar: every reaching definition must lie outside l.
+	for _, d := range res.SSA.ReachingDefs(u) {
+		if d.Kind == ssa.VDef && ir.Encloses(l, d.Stmt.Loop) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShiftDelta returns the constant position offset of a shift-class
+// requirement along grid dimension d (0 when the dimension matches).
+func (r *Requirement) ShiftDelta(d int) int64 {
+	s, t := r.SrcPat.Dims[d], r.DstPat.Dims[d]
+	if s.Repl || t.Repl || !s.Sub.OK || !t.Sub.OK {
+		return 0
+	}
+	return (t.Sub.Const + t.Offset) - (s.Sub.Const + s.Offset)
+}
+
+// Summary renders the plan compactly for diagnostics and tests.
+func (p *Plan) Summary() string {
+	var lines []string
+	for _, r := range p.Reqs {
+		lines = append(lines, r.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// CountByClass tallies requirements per communication class.
+func (p *Plan) CountByClass() map[dist.CommClass]int {
+	out := map[dist.CommClass]int{}
+	for _, r := range p.Reqs {
+		out[r.Class]++
+	}
+	return out
+}
+
+// ExecPattern exposes the symbolic execution set of a statement under the
+// final decisions (used by diagnostics and tests).
+func ExecPattern(res *core.Result, st *ir.Stmt) dist.OwnerPattern {
+	return execPattern(res, st)
+}

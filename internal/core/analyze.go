@@ -1,0 +1,200 @@
+package core
+
+import (
+	"phpf/internal/dataflow"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// analyzer carries the state of one mapping pass.
+type analyzer struct {
+	prog *ir.Program
+	ssa  *ssa.SSA
+	cp   *dataflow.ConstProp
+	m    *dist.Mapping
+	opts Options
+	res  *Result
+
+	// inProgress guards the recursive consumer-mapping invocation.
+	inProgress map[*ssa.Value]bool
+	// noAlignExam is the paper's deferred list: definitions eligible for
+	// privatization without alignment, re-examined at the end of the pass.
+	noAlignExam []*ssa.Value
+	// reductionOf maps the defining statement of a recognized reduction
+	// accumulator to its reduction.
+	reductionOf map[*ir.Stmt]*dataflow.Reduction
+}
+
+// Analyze runs the complete mapping pass over a program whose induction
+// variables have already been rewritten (see dataflow.ApplyInductionRewrites)
+// and whose SSA has been rebuilt afterwards.
+func Analyze(p *ir.Program, s *ssa.SSA, cp *dataflow.ConstProp, m *dist.Mapping,
+	ivs []*dataflow.Induction, opts Options) *Result {
+
+	a := &analyzer{
+		prog: p, ssa: s, cp: cp, m: m, opts: opts,
+		inProgress:  map[*ssa.Value]bool{},
+		reductionOf: map[*ir.Stmt]*dataflow.Reduction{},
+		res: &Result{
+			Prog: p, SSA: s, Mapping: m, Opts: opts,
+			Scalars:    map[*ssa.Value]*ScalarMapping{},
+			Arrays:     map[*ir.Var]*ArrayPrivatization{},
+			Ctrl:       map[*ir.Stmt]*CtrlMapping{},
+			Inductions: ivs,
+		},
+	}
+
+	// 1. Array privatization (§3) — before scalars, so that scalar
+	// consumer/producer selection sees privatized array mappings.
+	if opts.PrivatizeArrays {
+		a.privatizeArrays()
+	}
+
+	// 2. Reductions (§2.3). Reduction accumulators are handled outside the
+	// Figure-3 algorithm in either case: mapped per §2.3 when the
+	// optimization is on, replicated when it is off (the Table 2 "Default"
+	// configuration).
+	a.res.Reductions = dataflow.FindReductions(p, s)
+	for _, red := range a.res.Reductions {
+		a.reductionOf[red.Stmt] = red
+	}
+	for _, red := range a.res.Reductions {
+		if opts.AlignReductions {
+			a.mapReduction(red)
+		} else if def := s.DefOf[red.Stmt]; def != nil && a.res.Scalars[def] == nil {
+			m := a.replicatedMapping(def)
+			a.record(def, m)
+			a.propagateToSiblings(def, m)
+		}
+	}
+
+	// 3. Scalar mappings (§2.2), in program order.
+	if opts.Scalars != ScalarsReplicated {
+		for _, st := range p.Stmts {
+			if st.Kind != ir.SAssign || st.Lhs.Var.IsArray() {
+				continue
+			}
+			def := s.DefOf[st]
+			if def == nil || a.res.Scalars[def] != nil {
+				continue
+			}
+			a.determineScalar(def)
+		}
+		// Final pass over the deferred no-alignment list: privatize without
+		// alignment those whose rhs data is still replicated.
+		a.finalizeNoAlign()
+	}
+	// Every remaining scalar definition gets the default mapping.
+	for _, st := range p.Stmts {
+		if st.Kind != ir.SAssign || st.Lhs.Var.IsArray() {
+			continue
+		}
+		if def := s.DefOf[st]; def != nil && a.res.Scalars[def] == nil {
+			a.record(def, a.replicatedMapping(def))
+		}
+	}
+
+	// 4. Control flow statements (§4).
+	if opts.PrivatizeControlFlow {
+		a.mapControlFlow()
+	}
+
+	return a.res
+}
+
+// record installs a mapping for def.
+func (a *analyzer) record(def *ssa.Value, m *ScalarMapping) {
+	m.Def = def
+	a.res.Scalars[def] = m
+}
+
+// replicatedMapping is the default decision.
+func (a *analyzer) replicatedMapping(def *ssa.Value) *ScalarMapping {
+	return &ScalarMapping{Def: def, Kind: ScalarReplicated,
+		Pattern: dist.ReplicatedPattern(a.m.Grid)}
+}
+
+// finalizeNoAlign re-examines the deferred list (end of Figure 3's
+// description): if all rhs data on the defining statement is still
+// replicated, the definition is privatized without alignment, overriding any
+// alignment recorded earlier.
+func (a *analyzer) finalizeNoAlign() {
+	for _, def := range a.noAlignExam {
+		if !a.isRhsReplicated(def.Stmt) {
+			continue
+		}
+		m := a.res.Scalars[def]
+		if m == nil {
+			m = a.replicatedMapping(def)
+			a.record(def, m)
+		}
+		m.Kind = ScalarNoAlign
+		m.Target = nil
+		m.Pattern = dist.ReplicatedPattern(a.m.Grid)
+		if m.PrivLoop == nil {
+			_, m.PrivLoop = dataflow.PrivatizationLevel(a.ssa, def)
+			if m.PrivLoop == nil {
+				m.PrivLoop = def.Stmt.Loop
+			}
+		}
+	}
+}
+
+// isRhsReplicated reports whether every rhs datum of the statement is
+// replicated under the current (possibly partial) decisions. Loop indices
+// and constants are implicitly replicated.
+func (a *analyzer) isRhsReplicated(st *ir.Stmt) bool {
+	for _, u := range st.Uses {
+		if u.IsDef {
+			continue
+		}
+		// Uses inside the LHS subscript are not rhs data.
+		if u.InSubscript && u.EnclosingRef == st.Lhs {
+			continue
+		}
+		if !a.refPattern(u).IsReplicated() {
+			return false
+		}
+	}
+	return true
+}
+
+// refPattern is RefPattern against the in-flux state: scalars whose mapping
+// is still being determined count as replicated (the paper defers for
+// exactly this reason).
+func (a *analyzer) refPattern(ref *ir.Ref) dist.OwnerPattern {
+	g := a.m.Grid
+	if ref.Var.IsArray() {
+		if ap := a.res.Arrays[ref.Var]; ap != nil && ir.Encloses(ap.Loop, ref.Stmt.Loop) {
+			return ap.PatternOf(g, ref, a.refPattern(ap.Target))
+		}
+		return dist.PatternOf(g, a.m.Arrays[ref.Var], ref)
+	}
+	var m *ScalarMapping
+	if ref.IsDef {
+		m = a.res.Scalars[a.ssa.DefOf[ref.Stmt]]
+	} else {
+		for _, d := range a.ssa.ReachingDefs(ref) {
+			if mm := a.res.Scalars[d]; mm != nil {
+				m = mm
+				break
+			}
+		}
+	}
+	return a.res.ScalarPattern(m)
+}
+
+// execPattern approximates where a statement executes under owner-computes
+// with the current decisions.
+func (a *analyzer) execPattern(st *ir.Stmt) dist.OwnerPattern {
+	switch st.Kind {
+	case ir.SAssign:
+		return a.refPattern(st.Lhs)
+	default:
+		// Control statements, bounds and redistributes: everywhere (until
+		// §4 privatizes them, which only narrows communication, handled
+		// separately).
+		return dist.ReplicatedPattern(a.m.Grid)
+	}
+}

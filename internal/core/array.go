@@ -1,0 +1,213 @@
+package core
+
+import (
+	"sort"
+
+	"phpf/internal/dataflow"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+)
+
+// privatizeArrays implements §3: for every loop carrying a NEW clause (or a
+// NODEPS directive implying memory-based dependences on written arrays), it
+// privatizes the named arrays — fully when the alignment target is valid
+// throughout the loop, partially (partition + privatize) otherwise.
+func (a *analyzer) privatizeArrays() {
+	// Automatic discovery (extension; the paper's prototype relied on
+	// directives).
+	auto := map[*ir.Loop][]*ir.Var{}
+	if a.opts.AutoPrivatizeArrays {
+		for _, ap := range dataflow.FindAutoPrivatizableArrays(a.prog) {
+			auto[ap.Loop] = append(auto[ap.Loop], ap.Var)
+		}
+	}
+	for _, L := range a.prog.Loops {
+		var cands []*ir.Var
+		seen := map[*ir.Var]bool{}
+		for _, name := range L.New {
+			v := a.prog.LookupVar(name)
+			if v != nil && v.IsArray() && !seen[v] {
+				cands = append(cands, v)
+				seen[v] = true
+			}
+		}
+		for _, v := range auto[L] {
+			if !seen[v] {
+				cands = append(cands, v)
+				seen[v] = true
+			}
+		}
+		if L.NoDeps {
+			// Paper §3.1: under the weaker directive, any lhs array
+			// reference whose subscripts are all invariant with respect to
+			// the loop (or affine in inner loop indices only) contributes
+			// memory-based loop-carried dependences eliminable only by
+			// privatization.
+			for _, st := range a.prog.Stmts {
+				if st.Kind != ir.SAssign || !st.Lhs.Var.IsArray() || !ir.Encloses(L, st.Loop) {
+					continue
+				}
+				v := st.Lhs.Var
+				if seen[v] {
+					continue
+				}
+				invariant := true
+				for _, sub := range st.Lhs.Subs {
+					if sub.VariesIn(L) || !sub.OK {
+						invariant = false
+						break
+					}
+				}
+				if invariant {
+					cands = append(cands, v)
+					seen[v] = true
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Name < cands[j].Name })
+		for _, v := range cands {
+			if a.res.Arrays[v] != nil {
+				continue
+			}
+			if ap := a.privatizeArray(v, L); ap != nil {
+				a.res.Arrays[v] = ap
+			}
+		}
+	}
+}
+
+// privatizeArray attempts to privatize array c with respect to loop L.
+func (a *analyzer) privatizeArray(c *ir.Var, L *ir.Loop) *ArrayPrivatization {
+	target := a.selectArrayTarget(c, L)
+	if target == nil {
+		return nil
+	}
+	g := a.m.Grid
+	ap := &ArrayPrivatization{
+		Var:      c,
+		Loop:     L,
+		Target:   target,
+		PrivGrid: make([]bool, g.Rank()),
+		Axes:     make([]dist.AxisMap, c.Rank()),
+	}
+
+	tm := a.m.Arrays[target.Var]
+	if tm == nil {
+		return nil
+	}
+
+	// Full privatization: valid when the target's alignment information is
+	// well-defined throughout L.
+	if a.alignLevel(target, nil) <= L.Level {
+		for _, ax := range tm.Axes {
+			if ax.Distributed {
+				ap.PrivGrid[ax.GridDim] = true
+			}
+		}
+		return ap
+	}
+
+	if !a.opts.PartialPrivatization {
+		return nil
+	}
+
+	// Partial privatization (§3.2): per distributed dimension of the
+	// target, privatize along grid dimensions whose subscript is
+	// well-defined throughout L; partition the others by matching the
+	// corresponding dimension of c.
+	for tdim, tax := range tm.Axes {
+		if !tax.Distributed {
+			continue
+		}
+		lvl := ir.SubscriptAlignLevel(target.Subs[tdim], target.Stmt)
+		if lvl <= L.Level {
+			ap.PrivGrid[tax.GridDim] = true
+			continue
+		}
+		cdim, offAdj, ok := a.matchPartitionDim(c, L, target.Subs[tdim])
+		if !ok {
+			return nil
+		}
+		ap.Axes[cdim] = dist.AxisMap{
+			Distributed: true,
+			GridDim:     tax.GridDim,
+			Kind:        tax.Kind,
+			Offset:      tax.Offset + offAdj,
+			Extent:      tax.Extent,
+			Block:       tax.Block,
+		}
+		ap.Partial = true
+	}
+	if !ap.Partial {
+		return nil
+	}
+	return ap
+}
+
+// selectArrayTarget traverses the uses of c within L and selects a consumer
+// alignment target (the lhs reference of the using statement), preferring
+// partitioned references traversed in inner loops — the same heuristic as
+// for scalars. Seemingly reached uses outside L are spurious (NEW asserts
+// per-iteration lifetime) and ignored.
+func (a *analyzer) selectArrayTarget(c *ir.Var, L *ir.Loop) *ir.Ref {
+	var best *ir.Ref
+	bestScore := -1
+	for _, st := range a.prog.Stmts {
+		if st.Kind != ir.SAssign || !ir.Encloses(L, st.Loop) {
+			continue
+		}
+		usesC := false
+		for _, u := range st.Uses {
+			if u.Var == c && !u.InSubscript {
+				usesC = true
+			}
+		}
+		if !usesC || !st.Lhs.Var.IsArray() || st.Lhs.Var == c {
+			continue
+		}
+		if a.refPattern(st.Lhs).IsReplicated() {
+			continue
+		}
+		score := a.scoreTarget(st.Lhs, st, st)
+		if score > bestScore {
+			best, bestScore = st.Lhs, score
+		}
+	}
+	return best
+}
+
+// matchPartitionDim finds the dimension of c whose subscripts at definition
+// sites within L have the same loop terms as the target subscript tsub, so
+// that partitioning that dimension co-locates c's elements with the target.
+// Returns the dimension, the constant offset adjustment (target const minus
+// def const), and whether a match was found.
+func (a *analyzer) matchPartitionDim(c *ir.Var, L *ir.Loop, tsub ir.Affine) (int, int64, bool) {
+	if !tsub.OK {
+		return 0, 0, false
+	}
+	for _, st := range a.prog.Stmts {
+		if st.Kind != ir.SAssign || st.Lhs.Var != c || !ir.Encloses(L, st.Loop) {
+			continue
+		}
+		for dim, sub := range st.Lhs.Subs {
+			if !sub.OK || len(sub.Terms) != len(tsub.Terms) || len(sub.Terms) == 0 {
+				continue
+			}
+			match := true
+			for i := range sub.Terms {
+				// Match on the loop index variable: the consumer and
+				// producer sit in different loop nests, so compare the
+				// index variables rather than loop identities.
+				if sub.Terms[i].Loop.Index != tsub.Terms[i].Loop.Index ||
+					sub.Terms[i].Coef != tsub.Terms[i].Coef {
+					match = false
+					break
+				}
+			}
+			if match {
+				return dim, tsub.Const - sub.Const, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+)
+
+// autoPrivSrc is a sweep whose work array w carries no NEW clause.
+const autoPrivSrc = `
+program t
+parameter n = 32
+real a(n,n), w(n)
+integer i, k
+!hpf$ distribute (*,block) :: a
+do k = 1, n
+  do i = 1, n
+    w(i) = a(i,k) * 2.0
+  end do
+  do i = 1, n
+    a(i,k) = w(i) + 1.0
+  end do
+end do
+end
+`
+
+// TestAutoArrayPrivatizationIntegration: with the extension enabled, the
+// work array is privatized exactly as if NEW(w) had been written.
+func TestAutoArrayPrivatizationIntegration(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AutoPrivatizeArrays = true
+	r := analyze(t, autoPrivSrc, 4, opts)
+	w := r.Prog.LookupVar("w")
+	ap := r.Arrays[w]
+	if ap == nil {
+		t.Fatal("w not auto-privatized")
+	}
+	if ap.Loop.Index.Name != "k" {
+		t.Errorf("privatized wrt %s-loop, want k", ap.Loop.Index.Name)
+	}
+	if ap.Target == nil || ap.Target.Var.Name != "a" {
+		t.Errorf("target = %v", ap.Target)
+	}
+
+	// Without the extension (and without NEW), w stays replicated.
+	r2 := analyze(t, autoPrivSrc, 4, DefaultOptions())
+	if r2.Arrays[r2.Prog.LookupVar("w")] != nil {
+		t.Error("w privatized without NEW and without the extension")
+	}
+}
+
+// TestAutoPrivMatchesNewClause: the automatic decision coincides with the
+// directive-driven one.
+func TestAutoPrivMatchesNewClause(t *testing.T) {
+	withNew := `
+program t
+parameter n = 32
+real a(n,n), w(n)
+integer i, k
+!hpf$ distribute (*,block) :: a
+!hpf$ independent, new(w)
+do k = 1, n
+  do i = 1, n
+    w(i) = a(i,k) * 2.0
+  end do
+  do i = 1, n
+    a(i,k) = w(i) + 1.0
+  end do
+end do
+end
+`
+	rNew := analyze(t, withNew, 4, DefaultOptions())
+	opts := DefaultOptions()
+	opts.AutoPrivatizeArrays = true
+	rAuto := analyze(t, autoPrivSrc, 4, opts)
+
+	apNew := rNew.Arrays[rNew.Prog.LookupVar("w")]
+	apAuto := rAuto.Arrays[rAuto.Prog.LookupVar("w")]
+	if apNew == nil || apAuto == nil {
+		t.Fatalf("missing privatizations: new=%v auto=%v", apNew, apAuto)
+	}
+	if apNew.Partial != apAuto.Partial {
+		t.Errorf("partial flags differ: new=%v auto=%v", apNew.Partial, apAuto.Partial)
+	}
+	if (apNew.Target.Var.Name) != (apAuto.Target.Var.Name) {
+		t.Errorf("targets differ: new=%v auto=%v", apNew.Target, apAuto.Target)
+	}
+}

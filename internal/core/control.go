@@ -1,0 +1,77 @@
+package core
+
+import (
+	"phpf/internal/ir"
+)
+
+// mapControlFlow implements §4: a control flow statement S inside loop L is
+// privatized when it cannot transfer control to a target outside the body
+// of L. A privatized control statement contributes no computation
+// partitioning guard — it executes on the union of processors executing the
+// other statements of the iteration, and its predicate data is communicated
+// only to the processors executing statements control dependent on it.
+// Non-privatized control statements execute on every processor.
+func (a *analyzer) mapControlFlow() {
+	for _, st := range a.prog.Stmts {
+		if st.Kind != ir.SIf && st.Kind != ir.SIfGoto {
+			continue
+		}
+		a.res.Ctrl[st] = &CtrlMapping{Stmt: st, Privatized: a.ctrlPrivatizable(st)}
+	}
+}
+
+// ctrlPrivatizable reports whether the control statement's transfers all
+// stay within the body of its innermost enclosing loop.
+func (a *analyzer) ctrlPrivatizable(st *ir.Stmt) bool {
+	if st.Loop == nil {
+		return false
+	}
+	switch st.Kind {
+	case ir.SIfGoto:
+		return a.labelInLoop(st.Label, st.Loop)
+	case ir.SIf:
+		ok := true
+		var scan func(nodes []ir.Node)
+		scan = func(nodes []ir.Node) {
+			for _, n := range nodes {
+				switch x := n.(type) {
+				case *ir.Stmt:
+					if x.Kind == ir.SGoto || x.Kind == ir.SIfGoto {
+						if !a.labelInLoop(x.Label, st.Loop) {
+							ok = false
+						}
+					}
+				case *ir.Loop:
+					scan(x.Body)
+				case *ir.If:
+					scan(x.Then)
+					scan(x.Else)
+				}
+			}
+		}
+		if st.IfNode != nil {
+			scan(st.IfNode.Then)
+			scan(st.IfNode.Else)
+		}
+		return ok
+	}
+	return false
+}
+
+// labelInLoop reports whether the CONTINUE statement bearing the label lies
+// within loop l.
+func (a *analyzer) labelInLoop(label int, l *ir.Loop) bool {
+	for _, st := range a.prog.Stmts {
+		if st.Kind == ir.SContinue && st.Label == label {
+			return ir.Encloses(l, st.Loop)
+		}
+	}
+	return false
+}
+
+// CtrlPrivatized reports the §4 decision for a control statement (false
+// when control privatization was disabled).
+func (r *Result) CtrlPrivatized(st *ir.Stmt) bool {
+	c := r.Ctrl[st]
+	return c != nil && c.Privatized
+}

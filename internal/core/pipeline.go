@@ -1,0 +1,44 @@
+package core
+
+import (
+	"phpf/internal/ast"
+	"phpf/internal/dataflow"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// BuildAndAnalyze runs the full analysis front end on a parsed program for a
+// given processor count: IR construction, CFG + SSA, constant propagation,
+// induction-variable recognition with closed-form rewriting (followed by an
+// SSA rebuild), directive resolution, and the mapping pass.
+func BuildAndAnalyze(src *ast.Program, nprocs int, opts Options) (*Result, error) {
+	p, err := ir.Build(src)
+	if err != nil {
+		return nil, err
+	}
+	g, err := ir.BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	s := ssa.Build(p, g)
+	cp := dataflow.PropagateConstants(s)
+
+	ivs := dataflow.FindInductionVars(p, s, cp)
+	if len(ivs) > 0 {
+		dataflow.ApplyInductionRewrites(p, s, ivs)
+		// Expression rewriting invalidates the SSA use links; rebuild.
+		g, err = ir.BuildCFG(p)
+		if err != nil {
+			return nil, err
+		}
+		s = ssa.Build(p, g)
+		cp = dataflow.PropagateConstants(s)
+	}
+
+	m, err := dist.Resolve(p, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(p, s, cp, m, ivs, opts), nil
+}

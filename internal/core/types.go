@@ -1,0 +1,312 @@
+// Package core implements the paper's primary contribution: selecting the
+// mapping of privatized scalar and array variables under data-driven
+// (owner-computes) parallelization.
+//
+// For each scalar definition the compiler chooses among replication
+// (default), alignment with a consumer reference, alignment with a producer
+// reference, and privatization without alignment (§2); scalar reductions get
+// the special treatment of §2.3; privatizable arrays are aligned, fully or
+// partially (partition some grid dimensions, privatize the others, §3); and
+// control flow statements are privatized when they cannot transfer control
+// out of their loop (§4).
+package core
+
+import (
+	"fmt"
+
+	"phpf/internal/dataflow"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// ScalarStrategy selects how aggressively scalar mappings are chosen. The
+// three levels correspond to the compiler versions measured in Table 1.
+type ScalarStrategy int
+
+const (
+	// ScalarsReplicated: no privatization; every scalar is replicated.
+	ScalarsReplicated ScalarStrategy = iota
+	// ScalarsProducerAligned: privatize, but always align each definition
+	// with a partitioned producer (rhs) reference when one exists.
+	ScalarsProducerAligned
+	// ScalarsSelected: the full §2.2 algorithm (consumer preferred unless
+	// it induces inner-loop communication; privatization without alignment
+	// when the rhs is replicated).
+	ScalarsSelected
+)
+
+func (s ScalarStrategy) String() string {
+	switch s {
+	case ScalarsReplicated:
+		return "replicated"
+	case ScalarsProducerAligned:
+		return "producer"
+	case ScalarsSelected:
+		return "selected"
+	}
+	return "?"
+}
+
+// Options controls which optimizations the mapping pass applies.
+type Options struct {
+	Scalars ScalarStrategy
+	// AlignReductions enables the §2.3 reduction-variable mapping
+	// (replicate over reduction grid dims, align elsewhere). When false,
+	// reduction scalars fall back to the scalar strategy (Table 2's
+	// "Default" column replicates them).
+	AlignReductions bool
+	// PrivatizeArrays enables §3.1 array privatization from NEW clauses.
+	PrivatizeArrays bool
+	// AutoPrivatizeArrays additionally discovers privatizable arrays by
+	// data-flow analysis, without NEW clauses — the paper's stated future
+	// work ("we plan to integrate our mapping techniques with automatic
+	// array privatization"). Off by default, like the paper's prototype.
+	AutoPrivatizeArrays bool
+	// PartialPrivatization enables §3.2 (partition + privatize) when full
+	// privatization is invalid.
+	PartialPrivatization bool
+	// PrivatizeControlFlow enables §4.
+	PrivatizeControlFlow bool
+	// DisableVectorization keeps every communication at its statement
+	// (ablation: quantifies what message vectorization contributes; the
+	// paper's cost model is "guided by ... the placement of communication,
+	// and hence, optimizations like message vectorization").
+	DisableVectorization bool
+	// DisableDependenceTest makes hoisting maximally conservative: any
+	// write to an array inside a loop defeats vectorizing reads of it out
+	// of that loop, even provably independent ones (ablation: shows what
+	// the Banerjee-style test buys, e.g. DGEFA's pivot-column broadcast).
+	DisableDependenceTest bool
+}
+
+// DefaultOptions enables everything (the "selected alignment" compiler).
+func DefaultOptions() Options {
+	return Options{
+		Scalars:              ScalarsSelected,
+		AlignReductions:      true,
+		PrivatizeArrays:      true,
+		PartialPrivatization: true,
+		PrivatizeControlFlow: true,
+	}
+}
+
+// ScalarKind is the chosen mapping for one scalar definition.
+type ScalarKind int
+
+const (
+	// ScalarReplicated: every processor computes and holds the value.
+	ScalarReplicated ScalarKind = iota
+	// ScalarAligned: owned by the owner of the Target reference.
+	ScalarAligned
+	// ScalarNoAlign: privatized without alignment — computed by whichever
+	// processors execute the iteration, from replicated data; treated as
+	// replicated by communication analysis.
+	ScalarNoAlign
+	// ScalarReduction: §2.3 mapping — replicated across the reduction grid
+	// dimensions, aligned with the reduction data reference elsewhere.
+	ScalarReduction
+)
+
+func (k ScalarKind) String() string {
+	switch k {
+	case ScalarReplicated:
+		return "replicated"
+	case ScalarAligned:
+		return "aligned"
+	case ScalarNoAlign:
+		return "private-noalign"
+	case ScalarReduction:
+		return "reduction"
+	}
+	return "?"
+}
+
+// ScalarMapping is the mapping decision for one SSA definition.
+type ScalarMapping struct {
+	Def  *ssa.Value
+	Kind ScalarKind
+
+	// Target is the alignment target reference (ScalarAligned and, for the
+	// non-reduction grid dimensions, ScalarReduction).
+	Target *ir.Ref
+	// TargetIsConsumer records whether Target was a consumer reference.
+	TargetIsConsumer bool
+	// PrivLoop is the loop with respect to which the value is privatized.
+	PrivLoop *ir.Loop
+
+	// Red is the recognized reduction (ScalarReduction).
+	Red *dataflow.Reduction
+	// RedGridDims lists the grid dimensions across which the reduction
+	// combines (the scalar is replicated over them).
+	RedGridDims []int
+
+	// Pattern is the symbolic owner of the value.
+	Pattern dist.OwnerPattern
+
+	// SelectedConsumer records the consumer reference the traversal chose,
+	// even when the final decision was privatization without alignment
+	// (diagnostic; mirrors the paper's Figure 2 discussion).
+	SelectedConsumer *ir.Ref
+	// ForcedReplicated records that some reached use required the dummy
+	// replicated reference (loop bound or broadcast subscript).
+	ForcedReplicated bool
+}
+
+func (m *ScalarMapping) String() string {
+	s := fmt.Sprintf("%s: %s", m.Def, m.Kind)
+	if m.Target != nil {
+		role := "producer"
+		if m.TargetIsConsumer {
+			role = "consumer"
+		}
+		if m.Kind == ScalarReduction {
+			role = "reduction-data"
+		}
+		s += fmt.Sprintf(" with %s (%s)", m.Target, role)
+	}
+	if m.PrivLoop != nil {
+		s += fmt.Sprintf(" wrt %s-loop", m.PrivLoop.Index.Name)
+	}
+	return s
+}
+
+// ArrayPrivatization is the §3 decision for one array with respect to one
+// loop.
+type ArrayPrivatization struct {
+	Var    *ir.Var
+	Loop   *ir.Loop // the INDEPENDENT/NEW (or NODEPS) loop
+	Target *ir.Ref  // alignment target reference
+	// Partial is true when the array is partitioned in some grid dims and
+	// privatized in the others (§3.2).
+	Partial bool
+	// PrivGrid[d] is true when grid dimension d is privatized: the array's
+	// coordinate there follows the target reference's coordinate.
+	PrivGrid []bool
+	// Axes[dim] maps partitioned array dimensions (zero value = collapsed).
+	Axes []dist.AxisMap
+}
+
+func (ap *ArrayPrivatization) String() string {
+	mode := "full"
+	if ap.Partial {
+		mode = "partial"
+	}
+	return fmt.Sprintf("%s privatized (%s) wrt %s-loop with target %s",
+		ap.Var.Name, mode, ap.Loop.Index.Name, ap.Target)
+}
+
+// PatternOf computes the owner pattern of a reference to the privatized
+// array: partitioned dims from Axes, privatized grid dims following the
+// target's pattern.
+func (ap *ArrayPrivatization) PatternOf(g *dist.Grid, ref *ir.Ref, targetPat dist.OwnerPattern) dist.OwnerPattern {
+	p := dist.ReplicatedPattern(g)
+	for d := 0; d < g.Rank(); d++ {
+		if ap.PrivGrid[d] {
+			p.Dims[d] = targetPat.Dims[d]
+		}
+	}
+	for dim, ax := range ap.Axes {
+		if !ax.Distributed {
+			continue
+		}
+		p.Dims[ax.GridDim] = dist.DimPattern{
+			Kind:   ax.Kind,
+			Block:  ax.Block,
+			Extent: ax.Extent,
+			Sub:    ref.Subs[dim],
+			Offset: ax.Offset,
+		}
+	}
+	return p
+}
+
+// CtrlMapping is the §4 decision for one control flow statement.
+type CtrlMapping struct {
+	Stmt *ir.Stmt
+	// Privatized: the statement does not contribute a computation
+	// partitioning guard; it executes on the union of processors executing
+	// the other statements of the iteration, and its predicate data flows
+	// only to that union. Non-privatized control statements execute on all
+	// processors.
+	Privatized bool
+}
+
+// Result is the complete set of mapping decisions for a program.
+type Result struct {
+	Prog    *ir.Program
+	SSA     *ssa.SSA
+	Mapping *dist.Mapping
+	Opts    Options
+
+	// Scalars maps each scalar SSA definition to its mapping decision.
+	Scalars map[*ssa.Value]*ScalarMapping
+	// Arrays maps privatized arrays to their privatization.
+	Arrays map[*ir.Var]*ArrayPrivatization
+	// Ctrl maps SIf/SIfGoto statements to their §4 decision.
+	Ctrl map[*ir.Stmt]*CtrlMapping
+
+	Inductions []*dataflow.Induction
+	Reductions []*dataflow.Reduction
+}
+
+// ScalarOfStmt returns the mapping of the scalar defined by an assignment
+// statement (nil for array assignments or non-assignments).
+func (r *Result) ScalarOfStmt(st *ir.Stmt) *ScalarMapping {
+	def := r.SSA.DefOf[st]
+	if def == nil {
+		return nil
+	}
+	return r.Scalars[def]
+}
+
+// UseMapping returns the mapping governing a scalar use: the mapping
+// recorded with its first reaching definition (the algorithm guarantees all
+// reaching definitions agree).
+func (r *Result) UseMapping(use *ir.Ref) *ScalarMapping {
+	defs := r.SSA.ReachingDefs(use)
+	for _, d := range defs {
+		if m := r.Scalars[d]; m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// RefPattern returns the symbolic owner pattern of any reference under the
+// final decisions: arrays via their (possibly privatized) mapping, scalar
+// uses via their reaching definition's mapping, scalar definitions via their
+// own mapping.
+func (r *Result) RefPattern(ref *ir.Ref) dist.OwnerPattern {
+	g := r.Mapping.Grid
+	if ref.Var.IsArray() {
+		if ap := r.Arrays[ref.Var]; ap != nil && ir.Encloses(ap.Loop, ref.Stmt.Loop) {
+			return ap.PatternOf(g, ref, r.RefPattern(ap.Target))
+		}
+		return dist.PatternOf(g, r.Mapping.Arrays[ref.Var], ref)
+	}
+	var m *ScalarMapping
+	if ref.IsDef {
+		m = r.Scalars[r.SSA.DefOf[ref.Stmt]]
+	} else {
+		m = r.UseMapping(ref)
+	}
+	return r.ScalarPattern(m)
+}
+
+// ScalarPattern returns the owner pattern for a scalar mapping decision
+// (replicated when m is nil).
+func (r *Result) ScalarPattern(m *ScalarMapping) dist.OwnerPattern {
+	g := r.Mapping.Grid
+	if m == nil {
+		return dist.ReplicatedPattern(g)
+	}
+	switch m.Kind {
+	case ScalarAligned, ScalarReduction:
+		return m.Pattern
+	default:
+		// Replicated and privatized-without-alignment scalars are treated
+		// as replicated by communication analysis.
+		return dist.ReplicatedPattern(g)
+	}
+}

@@ -1,0 +1,268 @@
+package dataflow
+
+import (
+	"phpf/internal/ast"
+	"phpf/internal/ir"
+)
+
+// AutoPrivatizable describes an automatically discovered privatizable array
+// (the paper's stated future work: integrating the mapping techniques with
+// automatic array privatization in the style of Tu & Padua [18]).
+type AutoPrivatizable struct {
+	Var  *ir.Var
+	Loop *ir.Loop
+}
+
+// FindAutoPrivatizableArrays discovers arrays that are privatizable with
+// respect to a loop without a NEW directive: within each iteration of L,
+// every read of the array is covered by writes earlier in the same
+// iteration, and the values do not live past the loop.
+//
+// The implementation is a simplified array-section analysis:
+//
+//   - For each dimension, a written region is derived from the defining
+//     nest's bounds when the subscript is the nest's index (+/- a constant)
+//     or loop-invariant; regions are compared symbolically (bounds affine in
+//     indices of loops enclosing L).
+//   - A read is covered when some unguarded write that textually precedes it
+//     inside the same iteration covers its region dimension-wise. Reads in
+//     the same nest as the write are also covered when they trail the write
+//     by a constant negative offset in the nest's traversal order (the
+//     recurrence c(i, j-1) after a write to c(i, j)).
+//   - Liveness is approximated textually: any read of the array outside L
+//     anywhere in the program rejects privatization.
+func FindAutoPrivatizableArrays(p *ir.Program) []AutoPrivatizable {
+	var out []AutoPrivatizable
+	for _, L := range p.Loops {
+		// Candidates: arrays written inside L.
+		written := map[*ir.Var]bool{}
+		for _, st := range p.Stmts {
+			if st.Kind == ir.SAssign && st.Lhs.Var.IsArray() && ir.Encloses(L, st.Loop) {
+				written[st.Lhs.Var] = true
+			}
+		}
+		for _, v := range p.VarList {
+			if !written[v] {
+				continue
+			}
+			if arrayPrivatizableWrt(p, v, L) {
+				out = append(out, AutoPrivatizable{Var: v, Loop: L})
+			}
+		}
+	}
+	return out
+}
+
+func arrayPrivatizableWrt(p *ir.Program, v *ir.Var, L *ir.Loop) bool {
+	var writes []*ir.Ref
+	for _, st := range p.Stmts {
+		if st.Kind != ir.SAssign || st.Lhs.Var != v {
+			continue
+		}
+		if !ir.Encloses(L, st.Loop) {
+			// A write outside L is harmless for privatization wrt L.
+			continue
+		}
+		writes = append(writes, st.Lhs)
+	}
+	if len(writes) == 0 {
+		return false
+	}
+	for _, r := range p.Refs {
+		if r.IsDef || r.Var != v {
+			continue
+		}
+		if !ir.Encloses(L, r.Stmt.Loop) {
+			return false // value read after (or before) the loop: live-out
+		}
+		if !readCovered(r, writes, L) {
+			return false // upward-exposed read
+		}
+	}
+	return true
+}
+
+// readCovered reports whether some write covers the read within one
+// iteration of L.
+func readCovered(read *ir.Ref, writes []*ir.Ref, L *ir.Loop) bool {
+	for _, w := range writes {
+		// The write must be certain (not under a condition) and textually
+		// precede the read's statement (a same-statement rhs read happens
+		// before the write and stays exposed).
+		if len(w.Stmt.EnclosingIfs) > 0 {
+			continue
+		}
+		if w.Stmt.ID >= read.Stmt.ID {
+			continue
+		}
+		if coversRegions(w, read, L) {
+			return true
+		}
+	}
+	return false
+}
+
+// coversRegions checks dimension-wise that the write's per-iteration region
+// includes the read's.
+func coversRegions(w, r *ir.Ref, L *ir.Loop) bool {
+	sameStmtNest := w.Stmt.Loop == r.Stmt.Loop
+	for dim := 0; dim < w.Var.Rank(); dim++ {
+		ws, rs := w.Subs[dim], r.Subs[dim]
+		if !ws.OK || !rs.OK {
+			return false
+		}
+		wLoop, wCoef := innerTerm(ws, L)
+		rLoop, rCoef := innerTerm(rs, L)
+		switch {
+		case wLoop == nil && rLoop == nil:
+			// Both invariant within L: positions must be provably equal.
+			if d, ok := affineConstDiff(ws, rs, L); !ok || d != 0 {
+				return false
+			}
+		case wLoop != nil && rLoop == nil:
+			// Write scans a range; read at a fixed position — covered if
+			// the position lies within [lo+c, hi+c]. Requires a bounds
+			// proof; keep conservative and reject.
+			return false
+		case wLoop == nil && rLoop != nil:
+			return false
+		default:
+			if wCoef != 1 || rCoef != 1 {
+				return false
+			}
+			// Constant offset between the scans.
+			delta, ok := scanDelta(ws, wLoop, rs, rLoop, L)
+			if !ok {
+				return false
+			}
+			switch {
+			case wLoop != rLoop:
+				// The write nest completes before the read nest runs (the
+				// write statement precedes the read): plain region
+				// containment, shifted by delta.
+				if !boundsContained(wLoop, rLoop, delta, L) {
+					return false
+				}
+			case delta == 0:
+				// Same scanning loop, same position: the write at this
+				// very iteration covers the read only if it precedes it
+				// textually (checked by the caller) — containment is
+				// trivial.
+			case delta < 0 && sameStmtNest && w.Stmt.ID < r.Stmt.ID:
+				// Recurrence read of earlier-written positions in the same
+				// nest (c(i,j-1) after writing c(i,j)): the first
+				// iterations read positions below the written range unless
+				// the read's low bound trails the write's by |delta|.
+				if !boundsContained(wLoop, rLoop, delta, L) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// innerTerm returns the single loop within L whose index appears in the
+// subscript (nil when invariant within L). Multiple within-L terms are
+// reported as coefficient 0 (unsupported).
+func innerTerm(a ir.Affine, L *ir.Loop) (*ir.Loop, int64) {
+	var found *ir.Loop
+	var coef int64
+	for _, t := range a.Terms {
+		within := false
+		for cur := t.Loop; cur != nil; cur = cur.Parent {
+			if cur == L {
+				within = true
+				break
+			}
+		}
+		if !within {
+			continue
+		}
+		if found != nil {
+			return found, 0
+		}
+		found, coef = t.Loop, t.Coef
+	}
+	return found, coef
+}
+
+// affineConstDiff computes r-w when the forms differ only by a constant
+// (terms matched by index variable; all terms must be invariant within L,
+// which the callers guarantee).
+func affineConstDiff(w, r ir.Affine, L *ir.Loop) (int64, bool) {
+	diff := map[*ir.Var]int64{}
+	for _, t := range w.Terms {
+		diff[t.Loop.Index] -= t.Coef
+	}
+	for _, t := range r.Terms {
+		diff[t.Loop.Index] += t.Coef
+	}
+	for _, d := range diff {
+		if d != 0 {
+			return 0, false
+		}
+	}
+	return r.Const - w.Const, true
+}
+
+// scanDelta computes the constant offset between the read scan and the
+// write scan: (r at iteration x of rLoop) - (w at iteration x of wLoop),
+// requiring the remaining (outer) terms to cancel.
+func scanDelta(ws ir.Affine, wLoop *ir.Loop, rs ir.Affine, rLoop *ir.Loop, L *ir.Loop) (int64, bool) {
+	diff := map[*ir.Var]int64{}
+	for _, t := range ws.Terms {
+		if t.Loop == wLoop {
+			continue
+		}
+		diff[t.Loop.Index] -= t.Coef
+	}
+	for _, t := range rs.Terms {
+		if t.Loop == rLoop {
+			continue
+		}
+		diff[t.Loop.Index] += t.Coef
+	}
+	for _, d := range diff {
+		if d != 0 {
+			return 0, false
+		}
+	}
+	return rs.Const - ws.Const, true
+}
+
+// boundsContained proves that the read traversal's positions (shifted by
+// delta) stay within the write traversal's: wLo <= rLo+delta and
+// rHi+delta <= wHi, with bounds affine over indices of loops enclosing L.
+func boundsContained(wLoop, rLoop *ir.Loop, delta int64, L *ir.Loop) bool {
+	nonNeg := func(a, b ast.Expr, off int64) bool {
+		// Prove b + off - a >= 0.
+		fa := ir.AnalyzeAffine(a, wLoop.Parent, nil)
+		fb := ir.AnalyzeAffine(b, rLoop.Parent, nil)
+		if !fa.OK || !fb.OK {
+			return false
+		}
+		d, ok := affineConstDiff(fa, fb, L)
+		if !ok {
+			return false
+		}
+		return d+off >= 0
+	}
+	// wLo <= rLo + delta  ⇔  (rLo - wLo) + delta >= 0
+	if !nonNeg(wLoop.Lo, rLoop.Lo, delta) {
+		return false
+	}
+	// rHi + delta <= wHi  ⇔  (wHi - rHi) - delta >= 0
+	fa := ir.AnalyzeAffine(rLoop.Hi, rLoop.Parent, nil)
+	fb := ir.AnalyzeAffine(wLoop.Hi, wLoop.Parent, nil)
+	if !fa.OK || !fb.OK {
+		return false
+	}
+	d, ok := affineConstDiff(fa, fb, L)
+	if !ok {
+		return false
+	}
+	return d-delta >= 0
+}

@@ -1,0 +1,227 @@
+// Package dataflow implements the scalar analyses the mapping algorithm
+// depends on: sparse constant propagation over SSA, induction-variable
+// recognition with closed-form replacement, reduction recognition (including
+// the conditional max/maxloc pattern used by partial pivoting), and
+// privatizability of scalar definitions with respect to enclosing loops.
+package dataflow
+
+import (
+	"math"
+
+	"phpf/internal/ast"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// Const is a compile-time constant value.
+type Const struct {
+	IsInt bool
+	I     int64
+	F     float64
+}
+
+// IntConst makes an integer constant.
+func IntConst(v int64) Const { return Const{IsInt: true, I: v} }
+
+// Float returns the value as float64.
+func (c Const) Float() float64 {
+	if c.IsInt {
+		return float64(c.I)
+	}
+	return c.F
+}
+
+// Equal reports value equality.
+func (c Const) Equal(o Const) bool {
+	if c.IsInt && o.IsInt {
+		return c.I == o.I
+	}
+	return c.Float() == o.Float()
+}
+
+// ConstProp computes, for each SSA value, whether it is a compile-time
+// constant. The propagation is pessimistic: a value is constant only when
+// its inputs are already known constant, iterated to a fixed point (phi
+// values require all reachable arguments to agree).
+type ConstProp struct {
+	s     *ssa.SSA
+	known map[*ssa.Value]Const
+}
+
+// PropagateConstants runs constant propagation over the SSA form.
+func PropagateConstants(s *ssa.SSA) *ConstProp {
+	cp := &ConstProp{s: s, known: map[*ssa.Value]Const{}}
+	for changed := true; changed; {
+		changed = false
+		for _, v := range s.Values {
+			if _, done := cp.known[v]; done {
+				continue
+			}
+			if c, ok := cp.eval(v); ok {
+				cp.known[v] = c
+				changed = true
+			}
+		}
+	}
+	return cp
+}
+
+// ValueConst returns the constant for an SSA value, if known.
+func (cp *ConstProp) ValueConst(v *ssa.Value) (Const, bool) {
+	c, ok := cp.known[v]
+	return c, ok
+}
+
+// UseConst returns the constant read by a scalar use reference, if known.
+func (cp *ConstProp) UseConst(u *ir.Ref) (Const, bool) {
+	v := cp.s.UseDef[u]
+	if v == nil {
+		return Const{}, false
+	}
+	return cp.ValueConst(v)
+}
+
+func (cp *ConstProp) eval(v *ssa.Value) (Const, bool) {
+	switch v.Kind {
+	case ssa.VInit:
+		return Const{}, false
+	case ssa.VPhi:
+		var first Const
+		have := false
+		for _, a := range v.Args {
+			if a == nil {
+				continue
+			}
+			c, ok := cp.known[a]
+			if !ok {
+				return Const{}, false
+			}
+			if !have {
+				first, have = c, true
+			} else if !first.Equal(c) {
+				return Const{}, false
+			}
+		}
+		return first, have
+	default: // VDef
+		return cp.evalExpr(v.Stmt.Rhs, v.Stmt)
+	}
+}
+
+// evalExpr evaluates an expression given the constants known at stmt.
+// Array references and loop indices make it non-constant.
+func (cp *ConstProp) evalExpr(e ast.Expr, stmt *ir.Stmt) (Const, bool) {
+	switch x := e.(type) {
+	case *ast.IntConst:
+		return IntConst(x.Value), true
+	case *ast.RealConst:
+		return Const{F: x.Value}, true
+	case *ast.Ref:
+		if len(x.Subs) > 0 {
+			return Const{}, false
+		}
+		// Find the matching use reference on the statement.
+		for _, u := range stmt.Uses {
+			if u.Ast == x {
+				return cp.UseConst(u)
+			}
+		}
+		return Const{}, false // loop index or untracked
+	case *ast.UnaryMinus:
+		c, ok := cp.evalExpr(x.X, stmt)
+		if !ok {
+			return Const{}, false
+		}
+		if c.IsInt {
+			return IntConst(-c.I), true
+		}
+		return Const{F: -c.F}, true
+	case *ast.BinOp:
+		l, ok := cp.evalExpr(x.L, stmt)
+		if !ok {
+			return Const{}, false
+		}
+		r, ok := cp.evalExpr(x.R, stmt)
+		if !ok {
+			return Const{}, false
+		}
+		return foldBin(x.Op, l, r)
+	case *ast.Call:
+		args := make([]Const, len(x.Args))
+		for i, a := range x.Args {
+			c, ok := cp.evalExpr(a, stmt)
+			if !ok {
+				return Const{}, false
+			}
+			args[i] = c
+		}
+		return foldCall(x.Name, args)
+	}
+	return Const{}, false
+}
+
+func foldBin(op ast.Op, l, r Const) (Const, bool) {
+	if l.IsInt && r.IsInt {
+		switch op {
+		case ast.Add:
+			return IntConst(l.I + r.I), true
+		case ast.Sub:
+			return IntConst(l.I - r.I), true
+		case ast.Mul:
+			return IntConst(l.I * r.I), true
+		case ast.Div:
+			if r.I == 0 {
+				return Const{}, false
+			}
+			return IntConst(l.I / r.I), true
+		}
+		return Const{}, false
+	}
+	lf, rf := l.Float(), r.Float()
+	switch op {
+	case ast.Add:
+		return Const{F: lf + rf}, true
+	case ast.Sub:
+		return Const{F: lf - rf}, true
+	case ast.Mul:
+		return Const{F: lf * rf}, true
+	case ast.Div:
+		if rf == 0 {
+			return Const{}, false
+		}
+		return Const{F: lf / rf}, true
+	}
+	return Const{}, false
+}
+
+func foldCall(name string, args []Const) (Const, bool) {
+	switch name {
+	case "abs":
+		c := args[0]
+		if c.IsInt {
+			if c.I < 0 {
+				return IntConst(-c.I), true
+			}
+			return c, true
+		}
+		return Const{F: math.Abs(c.F)}, true
+	case "sqrt":
+		return Const{F: math.Sqrt(args[0].Float())}, true
+	case "exp":
+		return Const{F: math.Exp(args[0].Float())}, true
+	case "max", "min":
+		best := args[0]
+		for _, a := range args[1:] {
+			if (name == "max") == (a.Float() > best.Float()) {
+				best = a
+			}
+		}
+		return best, true
+	case "mod":
+		if args[0].IsInt && args[1].IsInt && args[1].I != 0 {
+			return IntConst(args[0].I % args[1].I), true
+		}
+		return Const{}, false
+	}
+	return Const{}, false
+}

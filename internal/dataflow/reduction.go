@@ -1,0 +1,353 @@
+package dataflow
+
+import (
+	"phpf/internal/ast"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// ReductionOp identifies the combining operation of a reduction.
+type ReductionOp int
+
+const (
+	RedSum ReductionOp = iota
+	RedProd
+	RedMax
+	RedMin
+	// RedMaxLoc marks a companion "location" variable updated alongside a
+	// conditional max/min reduction (e.g. the pivot row in DGEFA).
+	RedMaxLoc
+)
+
+func (o ReductionOp) String() string {
+	switch o {
+	case RedSum:
+		return "sum"
+	case RedProd:
+		return "prod"
+	case RedMax:
+		return "max"
+	case RedMin:
+		return "min"
+	case RedMaxLoc:
+		return "maxloc"
+	}
+	return "?"
+}
+
+// Reduction describes a scalar reduction carried by a loop.
+type Reduction struct {
+	Var  *ir.Var
+	Op   ReductionOp
+	Loop *ir.Loop // the innermost loop carrying the reduction
+	// Loops lists every enclosing loop around whose back edge the
+	// accumulator flows (innermost first); the last entry is the outermost
+	// carried loop, after which the global combine happens.
+	Loops []*ir.Loop
+	Stmt  *ir.Stmt // the updating assignment
+
+	// DataRef is the partitioned array reference combined into the
+	// accumulator in each iteration — "the special array reference whose
+	// ownership governs the partitioning of the partial reduction
+	// operation" (paper §2.3). Nil when the reduced data is scalar.
+	DataRef *ir.Ref
+
+	// Companion links a maxloc location variable to its max reduction.
+	Companion *Reduction
+}
+
+// FindReductions recognizes scalar reductions:
+//
+//	s = s + e, s = s * e, s = max(s, e), s = min(s, e)
+//
+// and the conditional form used for pivoting:
+//
+//	if (e > t) then      (or >=, or t < e, ...)
+//	  t = e
+//	  l = i              (companion location variables)
+//	end if
+//
+// The accumulator's value must flow around the loop only through the
+// updating statement (verified via SSA).
+func FindReductions(p *ir.Program, s *ssa.SSA) []*Reduction {
+	var out []*Reduction
+	seen := map[*ir.Stmt]bool{}
+	for _, st := range p.Stmts {
+		if seen[st] || st.Kind != ir.SAssign || st.Loop == nil {
+			continue
+		}
+		if r := recognizePlainReduction(st, s); r != nil {
+			out = append(out, r)
+			seen[st] = true
+			continue
+		}
+	}
+	// Conditional max/maxloc: scan IF statements.
+	for _, st := range p.Stmts {
+		if st.Kind != ir.SIf || st.Loop == nil || st.IfNode == nil {
+			continue
+		}
+		rs := recognizeConditionalMax(st, s, seen)
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// recognizePlainReduction matches s = s op e forms.
+func recognizePlainReduction(st *ir.Stmt, s *ssa.SSA) *Reduction {
+	v := st.Lhs.Var
+	if v.IsArray() || len(st.EnclosingIfs) > 0 {
+		return nil
+	}
+	var op ReductionOp
+	var selfUse *ir.Ref
+	var dataExpr ast.Expr
+
+	findSelf := func(e ast.Expr) *ir.Ref {
+		r, ok := e.(*ast.Ref)
+		if !ok || len(r.Subs) > 0 || r.Name != v.Name {
+			return nil
+		}
+		for _, u := range st.Uses {
+			if u.Ast == r {
+				return u
+			}
+		}
+		return nil
+	}
+
+	switch rhs := st.Rhs.(type) {
+	case *ast.BinOp:
+		switch rhs.Op {
+		case ast.Add, ast.Mul:
+			if u := findSelf(rhs.L); u != nil {
+				selfUse, dataExpr = u, rhs.R
+			} else if u := findSelf(rhs.R); u != nil {
+				selfUse, dataExpr = u, rhs.L
+			}
+			if rhs.Op == ast.Add {
+				op = RedSum
+			} else {
+				op = RedProd
+			}
+		case ast.Sub:
+			// s = s - e is a sum reduction of -e.
+			if u := findSelf(rhs.L); u != nil {
+				selfUse, dataExpr = u, rhs.R
+				op = RedSum
+			}
+		}
+	case *ast.Call:
+		if (rhs.Name == "max" || rhs.Name == "min") && len(rhs.Args) == 2 {
+			if u := findSelf(rhs.Args[0]); u != nil {
+				selfUse, dataExpr = u, rhs.Args[1]
+			} else if u := findSelf(rhs.Args[1]); u != nil {
+				selfUse, dataExpr = u, rhs.Args[0]
+			}
+			if rhs.Name == "max" {
+				op = RedMax
+			} else {
+				op = RedMin
+			}
+		}
+	}
+	if selfUse == nil {
+		return nil
+	}
+	// The data expression must not read the accumulator.
+	for _, r := range ast.Refs(dataExpr) {
+		if r.Name == v.Name {
+			return nil
+		}
+	}
+	loops := carrierLoops(st, selfUse, s)
+	if len(loops) == 0 {
+		return nil
+	}
+	return &Reduction{
+		Var:     v,
+		Op:      op,
+		Loop:    loops[0],
+		Loops:   loops,
+		Stmt:    st,
+		DataRef: partitionableDataRef(st, dataExpr),
+	}
+}
+
+// carrierLoops verifies the self use is fed by this definition around loop
+// back edges, and returns every such enclosing loop, innermost first.
+func carrierLoops(st *ir.Stmt, selfUse *ir.Ref, s *ssa.SSA) []*ir.Loop {
+	def := s.DefOf[st]
+	if def == nil {
+		return nil
+	}
+	for _, ru := range s.ReachedUses(def) {
+		if ru.Ref != selfUse {
+			continue
+		}
+		var out []*ir.Loop
+		for l := st.Loop; l != nil; l = l.Parent {
+			if ru.CrossesBackOf[l] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// partitionableDataRef picks the array reference in the data expression that
+// will govern the partial reduction's partitioning (the first partitioned
+// array read; distribution is resolved later, so we return the first array
+// reference and let the mapping phase check its distribution).
+func partitionableDataRef(st *ir.Stmt, dataExpr ast.Expr) *ir.Ref {
+	for _, ar := range ast.Refs(dataExpr) {
+		if len(ar.Subs) == 0 {
+			continue
+		}
+		for _, u := range st.Uses {
+			if u.Ast == ar {
+				return u
+			}
+		}
+	}
+	return nil
+}
+
+// recognizeConditionalMax matches the pivoting pattern:
+//
+//	if (e REL t) then { t = e; l1 = i1; ... }   with no ELSE branch
+//
+// where REL compares the candidate against the accumulator t. t becomes a
+// max/min reduction; the other assignments in the branch become maxloc
+// companions.
+func recognizeConditionalMax(ifStmt *ir.Stmt, s *ssa.SSA, seen map[*ir.Stmt]bool) []*Reduction {
+	ifn := ifStmt.IfNode
+	if len(ifn.Else) != 0 {
+		return nil
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinOp)
+	if !ok || !cond.Op.IsRelational() || cond.Op == ast.OpEq || cond.Op == ast.OpNe {
+		return nil
+	}
+	// Collect the simple assignments of the branch.
+	var assigns []*ir.Stmt
+	for _, n := range ifn.Then {
+		st, ok := n.(*ir.Stmt)
+		if !ok || st.Kind != ir.SAssign || st.Lhs.Var.IsArray() {
+			return nil
+		}
+		assigns = append(assigns, st)
+	}
+	if len(assigns) == 0 {
+		return nil
+	}
+	// One side of the condition must be a scalar assigned in the branch
+	// (the accumulator), the other the candidate expression.
+	var accStmt *ir.Stmt
+	var candidate ast.Expr
+	var op ReductionOp
+	matchAcc := func(e ast.Expr) *ir.Stmt {
+		r, ok := e.(*ast.Ref)
+		if !ok || len(r.Subs) > 0 {
+			return nil
+		}
+		for _, a := range assigns {
+			if a.Lhs.Var.Name == r.Name {
+				return a
+			}
+		}
+		return nil
+	}
+	if acc := matchAcc(cond.R); acc != nil {
+		// e REL t: for > or >= this is a max update.
+		accStmt, candidate = acc, cond.L
+		if cond.Op == ast.OpGt || cond.Op == ast.OpGe {
+			op = RedMax
+		} else {
+			op = RedMin
+		}
+	} else if acc := matchAcc(cond.L); acc != nil {
+		// t REL e: for < or <= this is a max update.
+		accStmt, candidate = acc, cond.R
+		if cond.Op == ast.OpLt || cond.Op == ast.OpLe {
+			op = RedMax
+		} else {
+			op = RedMin
+		}
+	} else {
+		return nil
+	}
+	// The accumulator must be assigned the candidate expression (same
+	// shape), i.e. t = e.
+	if ast.ExprString(accStmt.Rhs) != ast.ExprString(candidate) {
+		return nil
+	}
+	// Verify the accumulator is loop-carried through this update.
+	var selfUse *ir.Ref
+	for _, u := range ifStmt.Uses {
+		if u.Var == accStmt.Lhs.Var {
+			selfUse = u
+		}
+	}
+	if selfUse == nil {
+		return nil
+	}
+	def := s.DefOf[accStmt]
+	if def == nil {
+		return nil
+	}
+	loops := conditionalCarrierLoops(ifStmt, accStmt, selfUse, s)
+	if len(loops) == 0 {
+		return nil
+	}
+
+	dataRef := partitionableDataRef(ifStmt, candidate)
+	main := &Reduction{
+		Var:     accStmt.Lhs.Var,
+		Op:      op,
+		Loop:    loops[0],
+		Loops:   loops,
+		Stmt:    accStmt,
+		DataRef: dataRef,
+	}
+	out := []*Reduction{main}
+	seen[accStmt] = true
+	for _, a := range assigns {
+		if a == accStmt {
+			continue
+		}
+		companion := &Reduction{
+			Var:       a.Lhs.Var,
+			Op:        RedMaxLoc,
+			Loop:      loops[0],
+			Loops:     loops,
+			Stmt:      a,
+			DataRef:   dataRef,
+			Companion: main,
+		}
+		seen[a] = true
+		out = append(out, companion)
+	}
+	return out
+}
+
+// conditionalCarrierLoops finds the loops around whose back edges the
+// accumulator's conditional update flows into the predicate's use,
+// innermost first.
+func conditionalCarrierLoops(ifStmt, accStmt *ir.Stmt, selfUse *ir.Ref, s *ssa.SSA) []*ir.Loop {
+	def := s.DefOf[accStmt]
+	for _, ru := range s.ReachedUses(def) {
+		if ru.Ref != selfUse {
+			continue
+		}
+		var out []*ir.Loop
+		for l := ifStmt.Loop; l != nil; l = l.Parent {
+			if ru.CrossesBackOf[l] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"phpf/internal/ir"
+	"phpf/internal/parser"
+)
+
+// mkPatternEnv builds a program with two aligned arrays and one offset
+// array in an i-loop, returning the refs and loop used by pattern tests.
+func mkPatternEnv(t *testing.T) (*ir.Program, *Mapping, map[string]*ir.Ref) {
+	t.Helper()
+	src := `
+program t
+parameter n = 100
+real a(n), b(n), e(n), g(n,n)
+integer i, m
+!hpf$ align b(i) with a(i)
+!hpf$ align (i) with a(*) :: e
+!hpf$ distribute (block) :: a
+!hpf$ distribute (*,cyclic) :: g
+m = 1
+do i = 2, n-1
+  a(i) = b(i) + b(i-1) + e(i) + g(1,i) + a(m)
+end do
+end
+`
+	ap, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Build(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Resolve(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string]*ir.Ref{}
+	for _, r := range p.Refs {
+		key := r.String()
+		if r.IsDef {
+			key = "def:" + key
+		}
+		refs[key] = r
+	}
+	return p, m, refs
+}
+
+func patOf(m *Mapping, r *ir.Ref) OwnerPattern {
+	return PatternOf(m.Grid, m.Arrays[r.Var], r)
+}
+
+func TestPatternCoversAligned(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	lhs := patOf(m, refs["def:a(i)"])
+	bi := patOf(m, refs["b(i)"])
+	if !Covers(bi, lhs) || !Covers(lhs, bi) {
+		t.Errorf("b(i) and a(i) should cover each other: %v vs %v", bi, lhs)
+	}
+}
+
+func TestPatternShiftClassification(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	lhs := patOf(m, refs["def:a(i)"])
+	bm1 := patOf(m, refs["b((i - 1))"])
+	if Covers(bm1, lhs) {
+		t.Error("b(i-1) does not cover a(i)")
+	}
+	if got := Classify(bm1, lhs); got != CommShift {
+		t.Errorf("classify(b(i-1) -> a(i)) = %v, want shift", got)
+	}
+}
+
+func TestPatternReplicatedSourceCovers(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	lhs := patOf(m, refs["def:a(i)"])
+	e := patOf(m, refs["e(i)"])
+	if !e.IsReplicated() {
+		t.Fatalf("e should be replicated: %v", e)
+	}
+	if !Covers(e, lhs) {
+		t.Error("replicated data covers everything")
+	}
+	if got := Classify(e, lhs); got != CommNone {
+		t.Errorf("classify = %v, want none", got)
+	}
+}
+
+func TestPatternBroadcastClassification(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	bi := patOf(m, refs["b(i)"])
+	repl := ReplicatedPattern(m.Grid)
+	if got := Classify(bi, repl); got != CommBcast {
+		t.Errorf("classify(partitioned -> all) = %v, want broadcast", got)
+	}
+}
+
+func TestPatternGeneralClassification(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	lhs := patOf(m, refs["def:a(i)"])
+	am := patOf(m, refs["a(m)"]) // non-affine subscript
+	if got := Classify(am, lhs); got != CommGeneral {
+		t.Errorf("classify(a(m) -> a(i)) = %v, want general", got)
+	}
+	// Different distribution kinds are also general.
+	g := patOf(m, refs["g(1,i)"])
+	if got := Classify(g, lhs); got != CommGeneral {
+		t.Errorf("classify(cyclic -> block) = %v, want general", got)
+	}
+}
+
+func TestPatternCloneIsolation(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	p1 := patOf(m, refs["b(i)"])
+	p2 := p1.Clone()
+	p2.Dims[0] = DimPattern{Repl: true}
+	if p1.Dims[0].Repl {
+		t.Error("Clone shares the Dims slice")
+	}
+}
+
+func TestPatternVariesInLoop(t *testing.T) {
+	p, m, refs := mkPatternEnv(t)
+	loop := p.Loops[0]
+	bi := patOf(m, refs["b(i)"])
+	if !bi.VariesInLoop(loop) {
+		t.Error("b(i)'s owner varies with i")
+	}
+	e := patOf(m, refs["e(i)"])
+	if e.VariesInLoop(loop) {
+		t.Error("replicated pattern varies nowhere")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	_, m, refs := mkPatternEnv(t)
+	s := patOf(m, refs["b(i)"]).String()
+	if !strings.Contains(s, "block") {
+		t.Errorf("pattern string = %q", s)
+	}
+	if rs := ReplicatedPattern(m.Grid).String(); rs != "<*>" {
+		t.Errorf("replicated string = %q", rs)
+	}
+}
+
+func TestProcSetCoversSetAndEqual(t *testing.T) {
+	g := NewGrid(4, 2)
+	all := AllProcs(g)
+	row := all.WithDim(0, 1)
+	cell := row.WithDim(1, 0)
+	if !all.CoversSet(row) || !row.CoversSet(cell) {
+		t.Error("covers relation broken")
+	}
+	if cell.CoversSet(row) || row.CoversSet(all) {
+		t.Error("covers relation too permissive")
+	}
+	if !row.Equal(all.WithDim(0, 1)) || row.Equal(cell) {
+		t.Error("equality broken")
+	}
+	if s := cell.String(); s != "P(1,0)" {
+		t.Errorf("string = %q", s)
+	}
+	if s := SingleProc(g, []int{2, 1}); !s.Contains(g.ID([]int{2, 1})) {
+		t.Error("SingleProc wrong")
+	}
+	if row.Grid() != g {
+		t.Error("Grid accessor wrong")
+	}
+}
+
+func TestGridString(t *testing.T) {
+	if s := NewGrid(4, 4).String(); s != "(4x4)" {
+		t.Errorf("grid string = %q", s)
+	}
+}
+
+func TestArrayMapHelpers(t *testing.T) {
+	p, m, _ := mkPatternEnv(t)
+	a := m.Arrays[p.LookupVar("a")]
+	if axes := a.DistributedAxes(); len(axes) != 1 || axes[0] != 0 {
+		t.Errorf("distributed axes = %v", axes)
+	}
+	// Block over 100 elements on 4 procs: 25 each.
+	for c := 0; c < 4; c++ {
+		if n := a.LocalElems(m.Grid, []int{c}); n != 25 {
+			t.Errorf("local elems at %d = %d", c, n)
+		}
+	}
+	if s := a.String(); !strings.Contains(s, "block") {
+		t.Errorf("array map string = %q", s)
+	}
+	g := m.Arrays[p.LookupVar("g")]
+	// g is (*,cyclic): 100 columns over 4 procs = 25 each, times 100 rows.
+	if n := g.LocalElems(m.Grid, []int{0}); n != 2500 {
+		t.Errorf("g local elems = %d", n)
+	}
+}

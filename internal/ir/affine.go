@@ -1,0 +1,264 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phpf/internal/ast"
+)
+
+// Affine is the analyzed form of one array subscript at a particular
+// reference site. If OK, the subscript equals
+//
+//	Const + Σ Terms[i].Coef * Terms[i].Loop.Index
+//
+// over the loops enclosing the reference. Otherwise the subscript involves
+// non-loop scalars or non-linear arithmetic; Scalars lists the scalar
+// variables it reads (used to compute VarLevel per the paper).
+type Affine struct {
+	OK      bool
+	Const   int64
+	Terms   []AffTerm
+	Scalars []*Var   // scalar variables appearing (non-affine case)
+	Expr    ast.Expr // original expression
+}
+
+// AffTerm is one linear term over an enclosing loop's index.
+type AffTerm struct {
+	Loop *Loop
+	Coef int64
+}
+
+// String renders the affine form for diagnostics.
+func (a Affine) String() string {
+	if !a.OK {
+		return fmt.Sprintf("nonaffine(%s)", ast.ExprString(a.Expr))
+	}
+	var parts []string
+	for _, t := range a.Terms {
+		switch t.Coef {
+		case 1:
+			parts = append(parts, t.Loop.Index.Name)
+		case -1:
+			parts = append(parts, "-"+t.Loop.Index.Name)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", t.Coef, t.Loop.Index.Name))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Const))
+	}
+	return strings.Join(parts, "+")
+}
+
+// IsConst reports whether the subscript is a compile-time constant, and its
+// value.
+func (a Affine) IsConst() (int64, bool) {
+	if a.OK && len(a.Terms) == 0 {
+		return a.Const, true
+	}
+	return 0, false
+}
+
+// CoefOf returns the coefficient of loop l's index (0 if absent).
+func (a Affine) CoefOf(l *Loop) int64 {
+	for _, t := range a.Terms {
+		if t.Loop == l {
+			return t.Coef
+		}
+	}
+	return 0
+}
+
+// VariesIn reports whether the subscript's value can change across
+// iterations of loop l: either l's index appears in an affine term, or
+// (non-affine case) l's index appears, or some scalar it reads is assigned
+// within l.
+func (a Affine) VariesIn(l *Loop) bool {
+	if a.OK {
+		return a.CoefOf(l) != 0
+	}
+	for _, v := range a.Scalars {
+		if v == l.Index {
+			return true
+		}
+		if !v.IsLoopIndex && v.DefLoops[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeSubscripts fills in r.Subs for array references.
+func (b *builder) analyzeSubscripts(r *Ref) {
+	if !r.Var.IsArray() {
+		return
+	}
+	r.Subs = make([]Affine, len(r.Ast.Subs))
+	for i, e := range r.Ast.Subs {
+		r.Subs[i] = AnalyzeAffine(e, r.Stmt.Loop, b.prog.LookupVar)
+	}
+}
+
+// AnalyzeAffine computes the affine form of expression e in the context of
+// the loop nest with innermost loop encl. lookup resolves scalar variable
+// names (may be nil, in which case non-index scalars are simply non-affine
+// with no VarLevel contribution).
+func AnalyzeAffine(e ast.Expr, encl *Loop, lookup func(string) *Var) Affine {
+	an := &affAnalyzer{encl: encl, lookup: lookup}
+	a := Affine{Expr: e}
+	c, terms, ok := an.affine(e)
+	if ok {
+		a.OK = true
+		a.Const = c
+		a.Terms = canonTerms(terms)
+	} else {
+		a.Scalars = an.scalarsIn(e)
+	}
+	return a
+}
+
+type affAnalyzer struct {
+	encl   *Loop
+	lookup func(string) *Var
+}
+
+func canonTerms(m map[*Loop]int64) []AffTerm {
+	var out []AffTerm
+	for l, c := range m {
+		if c != 0 {
+			out = append(out, AffTerm{Loop: l, Coef: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loop.Level < out[j].Loop.Level })
+	return out
+}
+
+// affine attempts to express e as const + Σ coef*loopindex.
+func (an *affAnalyzer) affine(e ast.Expr) (int64, map[*Loop]int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntConst:
+		return x.Value, nil, true
+	case *ast.Ref:
+		if len(x.Subs) > 0 {
+			return 0, nil, false
+		}
+		for l := an.encl; l != nil; l = l.Parent {
+			if l.Index.Name == x.Name {
+				return 0, map[*Loop]int64{l: 1}, true
+			}
+		}
+		return 0, nil, false
+	case *ast.UnaryMinus:
+		c, t, ok := an.affine(x.X)
+		if !ok {
+			return 0, nil, false
+		}
+		nt := map[*Loop]int64{}
+		for l, co := range t {
+			nt[l] = -co
+		}
+		return -c, nt, true
+	case *ast.BinOp:
+		lc, lt, lok := an.affine(x.L)
+		rc, rt, rok := an.affine(x.R)
+		if !lok || !rok {
+			return 0, nil, false
+		}
+		switch x.Op {
+		case ast.Add, ast.Sub:
+			sign := int64(1)
+			if x.Op == ast.Sub {
+				sign = -1
+			}
+			nt := map[*Loop]int64{}
+			for l, co := range lt {
+				nt[l] += co
+			}
+			for l, co := range rt {
+				nt[l] += sign * co
+			}
+			return lc + sign*rc, nt, true
+		case ast.Mul:
+			if len(lt) == 0 {
+				nt := map[*Loop]int64{}
+				for l, co := range rt {
+					nt[l] = lc * co
+				}
+				return lc * rc, nt, true
+			}
+			if len(rt) == 0 {
+				nt := map[*Loop]int64{}
+				for l, co := range lt {
+					nt[l] = rc * co
+				}
+				return lc * rc, nt, true
+			}
+			return 0, nil, false
+		case ast.Div:
+			if len(rt) == 0 && rc != 0 && lc%rc == 0 {
+				nt := map[*Loop]int64{}
+				for l, co := range lt {
+					if co%rc != 0 {
+						return 0, nil, false
+					}
+					nt[l] = co / rc
+				}
+				return lc / rc, nt, true
+			}
+			return 0, nil, false
+		}
+		return 0, nil, false
+	}
+	return 0, nil, false
+}
+
+// scalarsIn collects the scalar variables (loop indices and others) read by
+// e, resolved through the lookup function.
+func (an *affAnalyzer) scalarsIn(e ast.Expr) []*Var {
+	seen := map[string]bool{}
+	var out []*Var
+	ast.Walk(e, func(n ast.Expr) {
+		r, ok := n.(*ast.Ref)
+		if !ok || seen[r.Name] {
+			return
+		}
+		seen[r.Name] = true
+		for l := an.encl; l != nil; l = l.Parent {
+			if l.Index.Name == r.Name {
+				out = append(out, l.Index)
+				return
+			}
+		}
+		if an.lookup != nil {
+			if v := an.lookup(r.Name); v != nil && !v.IsArray() {
+				out = append(out, v)
+			}
+		}
+	})
+	return out
+}
+
+// VarLevel returns the paper's VarLevel(s): the nesting level of the
+// innermost loop, among those enclosing stmt, in which the subscript varies
+// in value. Level 0 means the subscript is invariant in the whole nest.
+func VarLevel(a Affine, stmt *Stmt) int {
+	for l := stmt.Loop; l != nil; l = l.Parent {
+		if a.VariesIn(l) {
+			return l.Level
+		}
+	}
+	return 0
+}
+
+// SubscriptAlignLevel returns VarLevel(s) for affine subscripts and
+// VarLevel(s)+1 otherwise — the nesting level of the outermost loop
+// throughout which the subscript's value is well-defined (paper §2.2).
+func SubscriptAlignLevel(a Affine, stmt *Stmt) int {
+	vl := VarLevel(a, stmt)
+	if a.OK {
+		return vl
+	}
+	return vl + 1
+}

@@ -1,0 +1,229 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildCFG(t *testing.T, src string) (*Program, *CFG) {
+	t.Helper()
+	p := build(t, src)
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	return p, g
+}
+
+// checkCFGWellFormed verifies pred/succ symmetry and that every statement
+// appears in exactly one block.
+func checkCFGWellFormed(t *testing.T, p *Program, g *CFG) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, pr := range s.Preds {
+				if pr == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge B%d->B%d not mirrored in preds", b.ID, s.ID)
+			}
+		}
+	}
+	count := map[*Stmt]int{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			count[s]++
+		}
+	}
+	for _, s := range p.Stmts {
+		if count[s] != 1 {
+			t.Errorf("statement s%d appears %d times in CFG", s.ID, count[s])
+		}
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	p, g := buildCFG(t, "program t\nreal x, y\nx = 1.0\ny = x\nend\n")
+	checkCFGWellFormed(t, p, g)
+	if len(g.Entry.Stmts) != 2 {
+		t.Errorf("entry block has %d stmts, want 2", len(g.Entry.Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry succs = %v", g.Entry.Succs)
+	}
+}
+
+func TestCFGLoopShape(t *testing.T) {
+	src := `
+program t
+parameter n = 4
+real a(n)
+integer i
+do i = 1, n
+  a(i) = 0.0
+end do
+end
+`
+	p, g := buildCFG(t, src)
+	checkCFGWellFormed(t, p, g)
+	loop := p.Loops[0]
+	h := g.HeaderOf[loop]
+	if h == nil || !h.IsHeader {
+		t.Fatal("missing loop header")
+	}
+	// Header has 2 preds (preheader + latch) and 2 succs (body + exit).
+	if len(h.Preds) != 2 {
+		t.Errorf("header preds = %d, want 2", len(h.Preds))
+	}
+	if len(h.Succs) != 2 {
+		t.Errorf("header succs = %d, want 2", len(h.Succs))
+	}
+	if g.PreheaderOf[loop] == nil || g.ExitOf[loop] == nil {
+		t.Error("missing preheader or exit")
+	}
+	// Body block belongs to the loop.
+	var bodyBlk *Block
+	for _, s := range h.Succs {
+		if s != g.ExitOf[loop] {
+			bodyBlk = s
+		}
+	}
+	if bodyBlk.Loop != loop {
+		t.Errorf("body block loop = %v", bodyBlk.Loop)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	src := `
+program t
+real x, y
+if (x > 0.0) then
+  y = 1.0
+else
+  y = 2.0
+end if
+x = y
+end
+`
+	p, g := buildCFG(t, src)
+	checkCFGWellFormed(t, p, g)
+	// The entry block ends with the SIf and has two successors.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2 (then/else)", len(g.Entry.Succs))
+	}
+	// Both branch blocks converge on the join.
+	j1 := g.Entry.Succs[0].Succs[0]
+	j2 := g.Entry.Succs[1].Succs[0]
+	if j1 != j2 {
+		t.Errorf("branches join at B%d and B%d", j1.ID, j2.ID)
+	}
+}
+
+func TestCFGIfNoElse(t *testing.T) {
+	src := `
+program t
+real x, y
+if (x > 0.0) then
+  y = 1.0
+end if
+x = y
+end
+`
+	p, g := buildCFG(t, src)
+	checkCFGWellFormed(t, p, g)
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2 (then/join)", len(g.Entry.Succs))
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	src := `
+program t
+parameter n = 4
+real a(n), b(n)
+integer i
+do i = 1, n
+  if (b(i) < 0.0) goto 100
+  a(i) = b(i)
+100 continue
+end do
+end
+`
+	p, g := buildCFG(t, src)
+	checkCFGWellFormed(t, p, g)
+	// The block holding the IfGoto must have an edge to the label block.
+	var gotoBlk, labelBlk *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if s.Kind == SIfGoto {
+				gotoBlk = b
+			}
+			if s.Kind == SContinue {
+				labelBlk = b
+			}
+		}
+	}
+	if gotoBlk == nil || labelBlk == nil {
+		t.Fatal("blocks not found")
+	}
+	found := false
+	for _, s := range gotoBlk.Succs {
+		if s == labelBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no edge from goto block B%d to label block B%d\n%s",
+			gotoBlk.ID, labelBlk.ID, g)
+	}
+	if len(gotoBlk.Succs) != 2 {
+		t.Errorf("ifgoto block has %d succs, want 2", len(gotoBlk.Succs))
+	}
+}
+
+func TestCFGStringHasHeaders(t *testing.T) {
+	src := `
+program t
+parameter n = 4
+real a(n)
+integer i
+do i = 1, n
+  a(i) = 0.0
+end do
+end
+`
+	_, g := buildCFG(t, src)
+	s := g.String()
+	if !strings.Contains(s, "header of i-loop") {
+		t.Errorf("CFG string missing header annotation:\n%s", s)
+	}
+}
+
+func TestCFGNestedLoops(t *testing.T) {
+	src := `
+program t
+parameter n = 4
+real a(n,n)
+integer i, j
+do i = 1, n
+  do j = 1, n
+    a(i,j) = 0.0
+  end do
+end do
+end
+`
+	p, g := buildCFG(t, src)
+	checkCFGWellFormed(t, p, g)
+	iL, jL := p.Loops[0], p.Loops[1]
+	if g.HeaderOf[iL] == g.HeaderOf[jL] {
+		t.Error("loops share a header")
+	}
+	// The j-exit flows (directly or via the latch) back to the i-header.
+	jExit := g.ExitOf[jL]
+	if jExit.Loop != iL {
+		t.Errorf("j-loop exit belongs to %v, want i-loop", jExit.Loop)
+	}
+}

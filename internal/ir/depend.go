@@ -1,0 +1,158 @@
+package ir
+
+import (
+	"phpf/internal/ast"
+)
+
+// MayOverlapAcross reports whether a definition reference and a use
+// reference of the same array may touch the same element across any pair of
+// iterations of loop l (and the loops it contains). It is the dependence
+// test behind message vectorization: communication for `use` can be hoisted
+// out of l only if no definition inside l may produce the value read.
+//
+// The test is a Banerjee-style range test on each dimension: the subscript
+// difference def−use is formed with the indices of loops inside l treated as
+// independent variables on the def and use sides (a loop-carried pair may
+// run at different iteration numbers), and bounded by substituting loop
+// bounds, innermost first. If some dimension's difference is provably
+// nonzero, the references are independent. Inconclusive cases report true
+// (may overlap).
+func MayOverlapAcross(def, use *Ref, l *Loop) bool {
+	if def.Var != use.Var {
+		return false
+	}
+	if !def.Var.IsArray() {
+		return true
+	}
+	for dim := 0; dim < def.Var.Rank(); dim++ {
+		if provedDisjoint(def.Subs[dim], use.Subs[dim], l) {
+			return false
+		}
+	}
+	return true
+}
+
+// linKey identifies a symbolic variable in a linear form: a loop with a
+// side tag (0 = shared, outside l; 1 = def instance; 2 = use instance).
+type linKey struct {
+	loop *Loop
+	side int
+}
+
+// linForm is const + Σ coef·index(loop,side).
+type linForm struct {
+	c     int64
+	terms map[linKey]int64
+}
+
+func newLin(c int64) *linForm { return &linForm{c: c, terms: map[linKey]int64{}} }
+
+func (f *linForm) add(k linKey, coef int64) {
+	f.terms[k] += coef
+	if f.terms[k] == 0 {
+		delete(f.terms, k)
+	}
+}
+
+func (f *linForm) clone() *linForm {
+	n := newLin(f.c)
+	for k, v := range f.terms {
+		n.terms[k] = v
+	}
+	return n
+}
+
+// provedDisjoint attempts to prove defSub ≠ useSub over all iteration pairs
+// of the loops within l.
+func provedDisjoint(dsub, usub Affine, l *Loop) bool {
+	if !dsub.OK || !usub.OK {
+		return false
+	}
+	delta := newLin(0)
+	addAffine(delta, dsub, l, 1, 1)
+	addAffine(delta, usub, l, 2, -1)
+	if len(delta.terms) == 0 {
+		return delta.c != 0
+	}
+	if v, ok := boundLin(delta.clone(), l, true); ok && v > 0 {
+		return true
+	}
+	if v, ok := boundLin(delta.clone(), l, false); ok && v < 0 {
+		return true
+	}
+	return false
+}
+
+// addAffine folds scale·a into the linear form, tagging indices of loops
+// within l by side.
+func addAffine(f *linForm, a Affine, l *Loop, side int, scale int64) {
+	f.c += a.Const * scale
+	for _, t := range a.Terms {
+		s := 0
+		if withinHoist(t.Loop, l) {
+			s = side
+		}
+		f.add(linKey{loop: t.Loop, side: s}, t.Coef*scale)
+	}
+}
+
+// withinHoist reports whether loop x is l or nested inside l.
+func withinHoist(x, l *Loop) bool {
+	for cur := x; cur != nil; cur = cur.Parent {
+		if cur == l {
+			return true
+		}
+	}
+	return false
+}
+
+// boundLin computes a constant lower bound (wantMin=true) or upper bound of
+// the linear form by substituting loop bounds for loop-index variables,
+// innermost loops first. Returns false when a bound is not affine, a step
+// is not a positive constant, or substitution does not terminate.
+func boundLin(f *linForm, l *Loop, wantMin bool) (int64, bool) {
+	for iter := 0; iter < 64; iter++ {
+		if len(f.terms) == 0 {
+			return f.c, true
+		}
+		// Pick the deepest-nested variable: its bounds may reference outer
+		// indices, which are substituted later.
+		var pick linKey
+		havePick := false
+		for k := range f.terms {
+			if !havePick || k.loop.Level > pick.loop.Level {
+				pick, havePick = k, true
+			}
+		}
+		coef := f.terms[pick]
+		delete(f.terms, pick)
+		if pick.loop.Step != nil {
+			if c, okc := pick.loop.Step.(*ast.IntConst); !okc || c.Value <= 0 {
+				return 0, false
+			}
+		}
+		// Substitute lo when (coef>0) == wantMin, else hi.
+		var bexpr ast.Expr
+		if (coef > 0) == wantMin {
+			bexpr = pick.loop.Lo
+		} else {
+			bexpr = pick.loop.Hi
+		}
+		ba := AnalyzeAffine(bexpr, pick.loop.Parent, nil)
+		if !ba.OK {
+			return 0, false
+		}
+		// The bound's own terms keep the same side: an inner loop's bound
+		// referencing an enclosing within-l index refers to that side's
+		// instance of it.
+		f.c += ba.Const * coef
+		for _, t := range ba.Terms {
+			s := 0
+			if withinHoist(t.Loop, l) {
+				s = pick.side
+			}
+			f.add(linKey{loop: t.Loop, side: s}, t.Coef*coef)
+		}
+	}
+	return 0, false
+}

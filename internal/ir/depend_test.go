@@ -1,0 +1,219 @@
+package ir
+
+import (
+	"testing"
+)
+
+// refsIn returns the def ref of the idx-th assignment to name, and the
+// first rhs use of useName on that statement (or any statement when
+// stmtName is "").
+func defOf(p *Program, name string, idx int) *Ref {
+	n := 0
+	for _, st := range p.Stmts {
+		if st.Kind == SAssign && st.Lhs.Var.Name == name {
+			if n == idx {
+				return st.Lhs
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+func useOf(p *Program, name string, idx int) *Ref {
+	n := 0
+	for _, r := range p.Refs {
+		if !r.IsDef && r.Var.Name == name && !r.InSubscript {
+			if n == idx {
+				return r
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+func TestMayOverlapShiftedSameLoop(t *testing.T) {
+	// a(i+1) written, a(i) read in the same loop: loop-carried flow
+	// dependence — may overlap.
+	p := build(t, `
+program t
+parameter n = 16
+real a(n)
+integer i
+do i = 2, n-1
+  a(i+1) = a(i) * 2.0
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "a", 0)
+	l := p.Loops[0]
+	if !MayOverlapAcross(def, use, l) {
+		t.Error("a(i+1) vs a(i) across the i-loop must overlap")
+	}
+}
+
+func TestDisjointConstantOffsetColumns(t *testing.T) {
+	// a(i,1) written, a(i,2) read: dimension 2 differs by a constant.
+	p := build(t, `
+program t
+parameter n = 16
+real a(n,n)
+integer i
+do i = 1, n
+  a(i,1) = a(i,2) * 2.0
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "a", 0)
+	if MayOverlapAcross(def, use, p.Loops[0]) {
+		t.Error("a(i,1) vs a(i,2) can never overlap")
+	}
+}
+
+func TestDGEFAPivotColumnIndependent(t *testing.T) {
+	// The trailing update writes a(i,j) for j in k+1..n while reading the
+	// pivot column a(i,k): disjoint because j >= k+1 > k. Hoisting out of
+	// the j-loop (and i-loop) is legal; out of the k-loop it is not.
+	p := build(t, `
+program t
+parameter n = 16
+real a(n,n)
+integer i, j, k
+do k = 1, n-1
+  do j = k+1, n
+    do i = k+1, n
+      a(i,j) = a(i,j) + a(i,k)
+    end do
+  end do
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	kLoop, jLoop, iLoop := p.Loops[0], p.Loops[1], p.Loops[2]
+	// The use of the pivot column is the second rhs use (a(i,j) first).
+	use := useOf(p, "a", 1)
+	if use == nil || use.Subs[1].String() != "k" {
+		t.Fatalf("pivot use not found: %v", use)
+	}
+	if MayOverlapAcross(def, use, iLoop) {
+		t.Error("update vs pivot column must be independent across the i-loop")
+	}
+	if MayOverlapAcross(def, use, jLoop) {
+		t.Error("update vs pivot column must be independent across the j-loop")
+	}
+	if !MayOverlapAcross(def, use, kLoop) {
+		t.Error("across the k-loop the pivot column IS produced by earlier steps")
+	}
+	// The a(i,j) self-read is same-element: overlaps everywhere.
+	selfUse := useOf(p, "a", 0)
+	if !MayOverlapAcross(def, selfUse, iLoop) {
+		t.Error("a(i,j) self-dependence must overlap")
+	}
+}
+
+func TestTriangularDisjointness(t *testing.T) {
+	// Writing a(j) for j in i+1..n while reading a(i): j > i always.
+	p := build(t, `
+program t
+parameter n = 16
+real a(n), b(n)
+integer i, j
+do i = 1, n-1
+  do j = i+1, n
+    a(j) = b(j) + a(i)
+  end do
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "a", 0)
+	jLoop := p.Loops[1]
+	iLoop := p.Loops[0]
+	if MayOverlapAcross(def, use, jLoop) {
+		t.Error("a(j), j>i vs a(i) independent across the j-loop")
+	}
+	if !MayOverlapAcross(def, use, iLoop) {
+		t.Error("across the i-loop, a later i reads what an earlier i wrote")
+	}
+}
+
+func TestNonAffineConservative(t *testing.T) {
+	p := build(t, `
+program t
+parameter n = 16
+real a(n)
+integer i, m
+m = 3
+do i = 1, n
+  a(m) = a(i) + 1.0
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "a", 0)
+	if !MayOverlapAcross(def, use, p.Loops[0]) {
+		t.Error("non-affine subscript must be conservative (may overlap)")
+	}
+}
+
+func TestDifferentArraysNeverOverlap(t *testing.T) {
+	p := build(t, `
+program t
+parameter n = 16
+real a(n), b(n)
+integer i
+do i = 1, n
+  a(i) = b(i)
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "b", 0)
+	if MayOverlapAcross(def, use, p.Loops[0]) {
+		t.Error("different arrays cannot overlap")
+	}
+}
+
+func TestSameElementInvariantSubscript(t *testing.T) {
+	// a(1) written and a(1) read: same element, overlaps.
+	p := build(t, `
+program t
+parameter n = 16
+real a(n)
+integer i
+do i = 1, n
+  a(1) = a(1) + 1.0
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "a", 0)
+	if !MayOverlapAcross(def, use, p.Loops[0]) {
+		t.Error("a(1) vs a(1) must overlap")
+	}
+}
+
+func TestStrideTwoStillBounded(t *testing.T) {
+	// With step 2 the range test still uses lo/hi; a(i) vs a(i+1) may
+	// overlap across iterations per the conservative bound (i_d+1 vs i_u
+	// ranges intersect), even though parity makes them disjoint — the
+	// simple Banerjee bound does not see parity.
+	p := build(t, `
+program t
+parameter n = 16
+real a(n)
+integer i
+do i = 2, n-1, 2
+  a(i+1) = a(i) * 2.0
+end do
+end
+`)
+	def := defOf(p, "a", 0)
+	use := useOf(p, "a", 0)
+	if !MayOverlapAcross(def, use, p.Loops[0]) {
+		t.Error("conservative result expected for the stride-2 bound test")
+	}
+}

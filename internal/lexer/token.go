@@ -1,0 +1,182 @@
+// Package lexer tokenizes the mini-Fortran/HPF dialect accepted by phpf-go.
+//
+// The language is line-oriented like fixed/free-form Fortran: statements end
+// at a newline, keywords are case-insensitive, and compiler directives appear
+// on comment lines beginning with "!hpf$". Ordinary comments start with "!"
+// and run to the end of the line.
+package lexer
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Keyword kinds are produced for identifiers matching a keyword
+// case-insensitively; the original spelling is preserved in Token.Text.
+const (
+	EOF Kind = iota
+	Newline
+	Ident
+	IntLit
+	RealLit
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	Comma
+	Colon
+	DoubleColon
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Eq // ==
+	Ne // /=
+	Lt
+	Le
+	Gt
+	Ge
+
+	// Keywords.
+	KwProgram
+	KwEnd
+	KwDo
+	KwEndDo
+	KwIf
+	KwThen
+	KwElse
+	KwEndIf
+	KwGoto
+	KwContinue
+	KwInteger
+	KwReal
+	KwParameter
+	KwAnd
+	KwOr
+	KwNot
+
+	// Directive introducer and directive keywords. Directive keywords are
+	// only recognized inside a directive line.
+	HPFDirective // the "!hpf$" marker at the start of a directive line
+	KwProcessors
+	KwTemplate
+	KwDistribute
+	KwRedistribute
+	KwAlign
+	KwWith
+	KwIndependent
+	KwNoDeps
+	KwNew
+	KwBlock
+	KwCyclic
+	KwOnto
+)
+
+var kindNames = map[Kind]string{
+	EOF:            "EOF",
+	Newline:        "newline",
+	Ident:          "identifier",
+	IntLit:         "integer literal",
+	RealLit:        "real literal",
+	LParen:         "'('",
+	RParen:         "')'",
+	Comma:          "','",
+	Colon:          "':'",
+	DoubleColon:    "'::'",
+	Assign:         "'='",
+	Plus:           "'+'",
+	Minus:          "'-'",
+	Star:           "'*'",
+	Slash:          "'/'",
+	Eq:             "'=='",
+	Ne:             "'/='",
+	Lt:             "'<'",
+	Le:             "'<='",
+	Gt:             "'>'",
+	Ge:             "'>='",
+	KwProgram:      "'program'",
+	KwEnd:          "'end'",
+	KwDo:           "'do'",
+	KwEndDo:        "'end do'",
+	KwIf:           "'if'",
+	KwThen:         "'then'",
+	KwElse:         "'else'",
+	KwEndIf:        "'end if'",
+	KwGoto:         "'goto'",
+	KwContinue:     "'continue'",
+	KwInteger:      "'integer'",
+	KwReal:         "'real'",
+	KwParameter:    "'parameter'",
+	KwAnd:          "'and'",
+	KwOr:           "'or'",
+	KwNot:          "'not'",
+	HPFDirective:   "'!hpf$'",
+	KwProcessors:   "'processors'",
+	KwTemplate:     "'template'",
+	KwDistribute:   "'distribute'",
+	KwRedistribute: "'redistribute'",
+	KwAlign:        "'align'",
+	KwWith:         "'with'",
+	KwIndependent:  "'independent'",
+	KwNoDeps:       "'nodeps'",
+	KwNew:          "'new'",
+	KwBlock:        "'block'",
+	KwCyclic:       "'cyclic'",
+	KwOnto:         "'onto'",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a single lexical unit with its source position.
+type Token struct {
+	Kind Kind
+	Text string // original spelling (lower-cased for keywords/identifiers)
+	Line int    // 1-based source line
+	Col  int    // 1-based column of the first character
+}
+
+// Pos formats the token position as "line:col".
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+// statement keywords recognized anywhere.
+var keywords = map[string]Kind{
+	"program":   KwProgram,
+	"end":       KwEnd,
+	"do":        KwDo,
+	"enddo":     KwEndDo,
+	"if":        KwIf,
+	"then":      KwThen,
+	"else":      KwElse,
+	"endif":     KwEndIf,
+	"goto":      KwGoto,
+	"continue":  KwContinue,
+	"integer":   KwInteger,
+	"real":      KwReal,
+	"parameter": KwParameter,
+	"and":       KwAnd,
+	"or":        KwOr,
+	"not":       KwNot,
+}
+
+// directive keywords recognized only on "!hpf$" lines.
+var directiveKeywords = map[string]Kind{
+	"processors":   KwProcessors,
+	"template":     KwTemplate,
+	"distribute":   KwDistribute,
+	"redistribute": KwRedistribute,
+	"align":        KwAlign,
+	"with":         KwWith,
+	"independent":  KwIndependent,
+	"nodeps":       KwNoDeps,
+	"new":          KwNew,
+	"block":        KwBlock,
+	"cyclic":       KwCyclic,
+	"onto":         KwOnto,
+}

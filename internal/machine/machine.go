@@ -1,0 +1,271 @@
+// Package machine simulates a distributed-memory message-passing machine in
+// the style of the IBM SP2 the paper measured on: per-processor clocks, a
+// LogGP-like point-to-point cost (latency α, sender overhead o, inverse
+// bandwidth 1/β), and log-tree collectives. Statement execution and
+// communication advance the clocks; the program's execution time is the
+// maximum clock.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"phpf/internal/dist"
+)
+
+// Params are the machine cost parameters, in seconds and bytes/second.
+type Params struct {
+	Latency   float64 // α: end-to-end message latency
+	Overhead  float64 // o: sender CPU occupancy per message
+	Bandwidth float64 // β⁻¹: bytes per second on a link
+	FlopTime  float64 // time per floating-point operation
+	ElemBytes int64   // bytes per array element / scalar message
+	// GuardTime is the per-iteration cost of communication left inside a
+	// loop: the generated code must evaluate ownership guards and invoke
+	// the runtime's send/receive checks every iteration, whether or not a
+	// message actually flows. It is the model's counterpart of the paper's
+	// "inner-loop communication" penalty that message vectorization
+	// removes.
+	GuardTime float64
+}
+
+// SP2 returns parameters approximating a 1995-era IBM SP2 thin node with
+// MPL user-space communication: ~40µs latency, ~35 MB/s bandwidth,
+// ~66 MFLOPS sustained per node, ~0.5µs per inner-loop communication guard.
+func SP2() Params {
+	return Params{
+		Latency:   40e-6,
+		Overhead:  10e-6,
+		Bandwidth: 35e6,
+		FlopTime:  15e-9,
+		ElemBytes: 8,
+		GuardTime: 0.5e-6,
+	}
+}
+
+// Stats aggregates communication activity.
+type Stats struct {
+	Messages     int64 // point-to-point messages (incl. collective rounds)
+	BytesMoved   int64
+	Broadcasts   int64
+	Shifts       int64
+	Reductions   int64
+	PointToPoint int64
+	AllToAlls    int64
+}
+
+// Machine is a simulated machine instance.
+type Machine struct {
+	Params Params
+	Grid   *dist.Grid
+	Clock  []float64
+	Stats  Stats
+}
+
+// New creates a machine over the given grid.
+func New(grid *dist.Grid, p Params) *Machine {
+	return &Machine{Params: p, Grid: grid, Clock: make([]float64, grid.Size())}
+}
+
+// NProcs returns the processor count.
+func (m *Machine) NProcs() int { return len(m.Clock) }
+
+// Time returns the current execution time: the maximum clock.
+func (m *Machine) Time() float64 {
+	t := 0.0
+	for _, c := range m.Clock {
+		if c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// Compute charges t seconds of computation to every processor in set.
+func (m *Machine) Compute(set dist.ProcSet, t float64) {
+	if t == 0 {
+		return
+	}
+	if set.IsAll() {
+		for i := range m.Clock {
+			m.Clock[i] += t
+		}
+		return
+	}
+	for _, p := range set.Procs() {
+		m.Clock[p] += t
+	}
+}
+
+// ComputeProc charges t seconds to one processor.
+func (m *Machine) ComputeProc(p int, t float64) { m.Clock[p] += t }
+
+// xferTime is the wire time of one message.
+func (m *Machine) xferTime(bytes int64) float64 {
+	return m.Params.Latency + float64(bytes)/m.Params.Bandwidth
+}
+
+// Send models one point-to-point message.
+func (m *Machine) Send(from, to int, bytes int64) {
+	m.Stats.Messages++
+	m.Stats.PointToPoint++
+	m.Stats.BytesMoved += bytes
+	if from == to {
+		return
+	}
+	depart := m.Clock[from]
+	m.Clock[from] += m.Params.Overhead
+	arrive := depart + m.xferTime(bytes)
+	if arrive > m.Clock[to] {
+		m.Clock[to] = arrive
+	}
+}
+
+// Multicast models a tree multicast of bytes from one processor to a set of
+// destinations: ceil(log2(k+1)) rounds of α+bytes/β, synchronizing the
+// destinations behind the source.
+func (m *Machine) Multicast(from int, dst dist.ProcSet, bytes int64) {
+	procs := dst.Procs()
+	k := 0
+	for _, p := range procs {
+		if p != from {
+			k++
+		}
+	}
+	if k == 0 {
+		return
+	}
+	rounds := int(math.Ceil(math.Log2(float64(k + 1))))
+	m.Stats.Broadcasts++
+	m.Stats.Messages += int64(k)
+	m.Stats.BytesMoved += bytes * int64(k)
+	cost := float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
+	done := m.Clock[from] + cost
+	m.Clock[from] += float64(rounds) * m.Params.Overhead
+	for _, p := range procs {
+		if p == from {
+			continue
+		}
+		if done > m.Clock[p] {
+			m.Clock[p] = done
+		}
+	}
+}
+
+// Shift models a collective nearest-neighbor shift among the processors of
+// set: every participant sends bytesPerProc to a neighbor. Participants
+// advance independently (no global barrier), which matches the pipelined
+// behavior of compiled shift communication.
+func (m *Machine) Shift(set dist.ProcSet, bytesPerProc int64) {
+	procs := set.Procs()
+	if len(procs) < 2 {
+		return
+	}
+	m.Stats.Shifts++
+	m.Stats.Messages += int64(len(procs))
+	m.Stats.BytesMoved += bytesPerProc * int64(len(procs))
+	cost := m.Params.Overhead + m.xferTime(bytesPerProc)
+	for _, p := range procs {
+		m.Clock[p] += cost
+	}
+}
+
+// Reduce models a combining tree over set (result available on the whole
+// set, i.e. reduce + broadcast of the 8-byte result folded into
+// ceil(log2 k) + ceil(log2 k) rounds); all participants synchronize.
+func (m *Machine) Reduce(set dist.ProcSet, bytes int64) {
+	procs := set.Procs()
+	if len(procs) < 2 {
+		return
+	}
+	rounds := 2 * int(math.Ceil(math.Log2(float64(len(procs)))))
+	m.Stats.Reductions++
+	m.Stats.Messages += int64(rounds)
+	m.Stats.BytesMoved += bytes * int64(len(procs))
+	// Synchronize: everyone waits for the slowest, then pays the rounds.
+	t := 0.0
+	for _, p := range procs {
+		if m.Clock[p] > t {
+			t = m.Clock[p]
+		}
+	}
+	t += float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
+	for _, p := range procs {
+		m.Clock[p] = t
+	}
+}
+
+// AllToAll models a full exchange among set with bytesPerProc leaving each
+// participant (e.g. a transpose/redistribution); acts as a barrier.
+func (m *Machine) AllToAll(set dist.ProcSet, bytesPerProc int64) {
+	procs := set.Procs()
+	k := len(procs)
+	if k < 2 {
+		return
+	}
+	m.Stats.AllToAlls++
+	m.Stats.Messages += int64(k * (k - 1))
+	m.Stats.BytesMoved += bytesPerProc * int64(k)
+	t := 0.0
+	for _, p := range procs {
+		if m.Clock[p] > t {
+			t = m.Clock[p]
+		}
+	}
+	per := float64(k-1)*(m.Params.Latency+m.Params.Overhead) +
+		float64(bytesPerProc)/m.Params.Bandwidth
+	t += per
+	for _, p := range procs {
+		m.Clock[p] = t
+	}
+}
+
+// Exchange models moving totalBytes from the owners in src to the
+// processors in dst (vectorized general communication): each destination
+// receives one aggregated message.
+func (m *Machine) Exchange(src, dst dist.ProcSet, totalBytes int64) {
+	srcProcs := src.Procs()
+	if len(srcProcs) == 0 {
+		return
+	}
+	dstProcs := dst.Procs()
+	recv := 0
+	for _, p := range dstProcs {
+		if !src.Contains(p) {
+			recv++
+		}
+	}
+	if recv == 0 {
+		return
+	}
+	per := totalBytes / int64(len(srcProcs))
+	if per == 0 {
+		per = totalBytes
+	}
+	m.Stats.Messages += int64(recv)
+	m.Stats.BytesMoved += totalBytes
+	// Senders pay overhead; receivers synchronize behind the slowest
+	// sender plus the wire time.
+	depart := 0.0
+	for _, p := range srcProcs {
+		if m.Clock[p] > depart {
+			depart = m.Clock[p]
+		}
+		m.Clock[p] += m.Params.Overhead
+	}
+	arrive := depart + m.xferTime(per)
+	for _, p := range dstProcs {
+		if src.Contains(p) {
+			continue
+		}
+		if arrive > m.Clock[p] {
+			m.Clock[p] = arrive
+		}
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d bcast=%d shift=%d reduce=%d p2p=%d a2a=%d",
+		s.Messages, s.BytesMoved, s.Broadcasts, s.Shifts, s.Reductions,
+		s.PointToPoint, s.AllToAlls)
+}

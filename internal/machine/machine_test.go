@@ -1,0 +1,212 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phpf/internal/dist"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestComputeAll(t *testing.T) {
+	g := dist.NewGrid(4)
+	m := New(g, SP2())
+	m.Compute(dist.AllProcs(g), 1.5)
+	for p := 0; p < 4; p++ {
+		if !approx(m.Clock[p], 1.5) {
+			t.Errorf("clock[%d] = %v", p, m.Clock[p])
+		}
+	}
+	if !approx(m.Time(), 1.5) {
+		t.Errorf("time = %v", m.Time())
+	}
+}
+
+func TestComputeSubset(t *testing.T) {
+	g := dist.NewGrid(2, 2)
+	m := New(g, SP2())
+	row := dist.AllProcs(g).WithDim(0, 1)
+	m.Compute(row, 2.0)
+	if !approx(m.Time(), 2.0) {
+		t.Errorf("time = %v", m.Time())
+	}
+	if m.Clock[0] != 0 {
+		t.Errorf("proc 0 should be idle, clock=%v", m.Clock[0])
+	}
+}
+
+func TestSendSynchronizesReceiver(t *testing.T) {
+	g := dist.NewGrid(2)
+	p := SP2()
+	m := New(g, p)
+	m.ComputeProc(0, 1.0)
+	m.Send(0, 1, 800)
+	wantArrive := 1.0 + p.Latency + 800/p.Bandwidth
+	if !approx(m.Clock[1], wantArrive) {
+		t.Errorf("clock[1] = %v, want %v", m.Clock[1], wantArrive)
+	}
+	if !approx(m.Clock[0], 1.0+p.Overhead) {
+		t.Errorf("clock[0] = %v", m.Clock[0])
+	}
+	if m.Stats.Messages != 1 || m.Stats.BytesMoved != 800 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}
+
+func TestSendToSelfFree(t *testing.T) {
+	g := dist.NewGrid(2)
+	m := New(g, SP2())
+	m.Send(1, 1, 100)
+	if m.Clock[1] != 0 {
+		t.Errorf("self-send should not advance clock: %v", m.Clock[1])
+	}
+}
+
+func TestSendNoBackwardsTime(t *testing.T) {
+	g := dist.NewGrid(2)
+	m := New(g, SP2())
+	m.ComputeProc(1, 100.0) // receiver far ahead
+	m.Send(0, 1, 8)
+	if m.Clock[1] != 100.0 {
+		t.Errorf("receiver clock moved backwards: %v", m.Clock[1])
+	}
+}
+
+func TestMulticastRounds(t *testing.T) {
+	g := dist.NewGrid(8)
+	p := SP2()
+	m := New(g, p)
+	m.Multicast(0, dist.AllProcs(g), 8)
+	// 7 destinations → ceil(log2 8) = 3 rounds.
+	want := 3 * (p.Latency + 8/p.Bandwidth + p.Overhead)
+	if !approx(m.Clock[7], want) {
+		t.Errorf("clock[7] = %v, want %v", m.Clock[7], want)
+	}
+	if m.Stats.Broadcasts != 1 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}
+
+func TestReduceSynchronizesAll(t *testing.T) {
+	g := dist.NewGrid(4)
+	p := SP2()
+	m := New(g, p)
+	m.ComputeProc(2, 5.0)
+	m.Reduce(dist.AllProcs(g), 8)
+	want := 5.0 + 4*(p.Latency+8/p.Bandwidth+p.Overhead) // 2*log2(4) rounds
+	for q := 0; q < 4; q++ {
+		if !approx(m.Clock[q], want) {
+			t.Errorf("clock[%d] = %v, want %v", q, m.Clock[q], want)
+		}
+	}
+}
+
+func TestShiftIndependentClocks(t *testing.T) {
+	g := dist.NewGrid(4)
+	p := SP2()
+	m := New(g, p)
+	m.ComputeProc(0, 3.0)
+	m.Shift(dist.AllProcs(g), 80)
+	cost := p.Overhead + p.Latency + 80/p.Bandwidth
+	if !approx(m.Clock[0], 3.0+cost) || !approx(m.Clock[1], cost) {
+		t.Errorf("clocks = %v", m.Clock)
+	}
+}
+
+func TestShiftSingleProcFree(t *testing.T) {
+	g := dist.NewGrid(1)
+	m := New(g, SP2())
+	m.Shift(dist.AllProcs(g), 80)
+	if m.Clock[0] != 0 || m.Stats.Shifts != 0 {
+		t.Error("single-processor shift should be free")
+	}
+}
+
+func TestAllToAllBarrier(t *testing.T) {
+	g := dist.NewGrid(4)
+	m := New(g, SP2())
+	m.ComputeProc(3, 2.0)
+	m.AllToAll(dist.AllProcs(g), 1000)
+	base := m.Clock[0]
+	for q := 1; q < 4; q++ {
+		if !approx(m.Clock[q], base) {
+			t.Errorf("all-to-all should synchronize: %v", m.Clock)
+		}
+	}
+	if base <= 2.0 {
+		t.Errorf("all-to-all cost missing: %v", base)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	g := dist.NewGrid(4)
+	p := SP2()
+	m := New(g, p)
+	src := dist.AllProcs(g).WithDim(0, 0)
+	m.Exchange(src, dist.AllProcs(g), 4000)
+	// Destinations 1..3 synchronize behind src + wire time of 4000 bytes.
+	want := p.Latency + 4000/p.Bandwidth
+	for q := 1; q < 4; q++ {
+		if !approx(m.Clock[q], want) {
+			t.Errorf("clock[%d] = %v, want %v", q, m.Clock[q], want)
+		}
+	}
+	// Receivers already holding the data are not charged.
+	m2 := New(g, p)
+	m2.Exchange(dist.AllProcs(g), dist.AllProcs(g), 4000)
+	if m2.Time() != 0 {
+		t.Error("exchange into owners should be free")
+	}
+}
+
+// Property: time never decreases under any operation sequence.
+func TestTimeMonotoneProperty(t *testing.T) {
+	g := dist.NewGrid(4)
+	check := func(ops []uint8) bool {
+		m := New(g, SP2())
+		prev := 0.0
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				m.Compute(dist.AllProcs(g), float64(op)*1e-6)
+			case 1:
+				m.Send(int(op)%4, int(op/4)%4, int64(op))
+			case 2:
+				m.Multicast(int(op)%4, dist.AllProcs(g), int64(op))
+			case 3:
+				m.Reduce(dist.AllProcs(g), 8)
+			case 4:
+				m.Shift(dist.AllProcs(g), int64(op))
+			}
+			now := m.Time()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost is monotone in message size.
+func TestCostMonotoneInBytesProperty(t *testing.T) {
+	g := dist.NewGrid(2)
+	check := func(b1, b2 uint16) bool {
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		m1 := New(g, SP2())
+		m1.Send(0, 1, int64(b1))
+		m2 := New(g, SP2())
+		m2.Send(0, 1, int64(b2))
+		return m1.Time() <= m2.Time()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phpf/internal/ast"
+)
+
+// genExpr builds a random expression of bounded depth from a fixed variable
+// pool.
+func genExpr(r *rand.Rand, depth int) ast.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &ast.IntConst{Value: int64(r.Intn(100))}
+		case 1:
+			return &ast.RealConst{Value: float64(r.Intn(1000)) / 8}
+		case 2:
+			return &ast.Ref{Name: []string{"x", "y", "z"}[r.Intn(3)]}
+		default:
+			return &ast.Ref{Name: "arr", Subs: []ast.Expr{genExpr(r, 0)}}
+		}
+	}
+	switch r.Intn(6) {
+	case 0, 1, 2:
+		ops := []ast.Op{ast.Add, ast.Sub, ast.Mul, ast.Div}
+		return &ast.BinOp{Op: ops[r.Intn(len(ops))],
+			L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 3:
+		return &ast.UnaryMinus{X: genExpr(r, depth-1)}
+	case 4:
+		return &ast.Call{Name: "abs", Args: []ast.Expr{genExpr(r, depth-1)}}
+	default:
+		return &ast.Call{Name: "max", Args: []ast.Expr{
+			genExpr(r, depth-1), genExpr(r, depth-1)}}
+	}
+}
+
+// TestExprPrintParseRoundTrip: printing a random expression and reparsing it
+// yields an identical tree (modulo the canonical parenthesization the
+// printer applies, which the second print pass fixes).
+func TestExprPrintParseRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 4)
+		printed := ast.ExprString(e)
+		parsed, err := ParseExpr(printed)
+		if err != nil {
+			t.Logf("parse of %q failed: %v", printed, err)
+			return false
+		}
+		return ast.ExprString(parsed) == printed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProgramPrintParseFixedPoint: ast.Print is a fixed point through the
+// parser for randomized straight-line programs.
+func TestProgramPrintParseFixedPoint(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := &ast.Program{
+			Name: "t",
+			Decls: []*ast.VarDecl{
+				{Name: "x", Type: ast.Real},
+				{Name: "y", Type: ast.Real},
+				{Name: "z", Type: ast.Real},
+				{Name: "arr", Type: ast.Real, Dims: []ast.Expr{&ast.IntConst{Value: 100}}},
+				{Name: "i", Type: ast.Integer},
+			},
+		}
+		n := 1 + r.Intn(4)
+		for k := 0; k < n; k++ {
+			prog.Body = append(prog.Body, &ast.Assign{
+				Lhs: &ast.Ref{Name: []string{"x", "y", "z"}[r.Intn(3)]},
+				Rhs: genExpr(r, 3),
+			})
+		}
+		printed := ast.Print(prog)
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Logf("reparse failed: %v\n%s", err, printed)
+			return false
+		}
+		return ast.Print(reparsed) == printed
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics: malformed inputs produce errors, not panics.
+func TestParserNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "program", "program t", "program t\nend",
+		"program t\ndo\nend\n", "program t\nif\nend\n",
+		"program t\nx = = 1\nend\n",
+		"program t\n!hpf$\nend\n",
+		"program t\n!hpf$ align\nend\n",
+		"program t\n!hpf$ distribute\nend\n",
+		"program t\nreal a(\nend\n",
+		"program t\nreal a(1,)\nend\n",
+		"program t\ninteger i\ndo i = 1, 2\nend\n",
+		"program t\nend do\nend\n",
+		"program t\nelse\nend\n",
+		"program t\n100\nend\n",
+		"program t\ngoto\nend\n",
+		"program t\nabs(1) = 2\nend\n",
+		"program t\nx = max()\nend\n",
+		"program t\nx = 1 +\nend\n",
+		"program t\nx = (1\nend\n",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("panic on %q: %v", src, p)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

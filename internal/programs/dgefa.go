@@ -1,0 +1,111 @@
+package programs
+
+import "fmt"
+
+// DGEFA returns the LINPACK gaussian-elimination kernel with partial
+// pivoting (§5.2): column-cyclic distribution, pivot search as a
+// conditional maxloc reduction over the current column, row swap, column
+// scaling, and the trailing-submatrix update. The reduction variables t0
+// (pivot magnitude) and l (pivot row) are the §2.3 targets whose alignment
+// Table 2 toggles.
+func DGEFA(n int) string {
+	return fmt.Sprintf(`
+program dgefa
+parameter n = %d
+real a(n,n)
+real t0, piv
+integer i, j, k, l
+!hpf$ distribute (*,cyclic) :: a
+do j = 1, n
+  do i = 1, n
+    a(i,j) = mod(i*7 + j*3, 13) * 1.0 - 6.0
+  end do
+end do
+do i = 1, n
+  a(i,i) = a(i,i) + 13.5
+end do
+do k = 1, n-1
+  t0 = abs(a(k,k))
+  l = k
+  do i = k+1, n
+    if (abs(a(i,k)) > t0) then
+      t0 = abs(a(i,k))
+      l = i
+    end if
+  end do
+  if (t0 /= 0.0) then
+    piv = a(l,k)
+    a(l,k) = a(k,k)
+    a(k,k) = piv
+    do i = k+1, n
+      a(i,k) = -a(i,k) / piv
+    end do
+    do j = k+1, n
+      piv = a(l,j)
+      a(l,j) = a(k,j)
+      a(k,j) = piv
+      do i = k+1, n
+        a(i,j) = a(i,j) + piv * a(i,k)
+      end do
+    end do
+  end if
+end do
+end
+`, n)
+}
+
+// DGEFARef performs the same factorization sequentially and returns the
+// resulting matrix (flattened (j-1)*n+(i-1)).
+func DGEFARef(n int) []float64 {
+	idx := func(i, j int) int { return (j-1)*n + (i - 1) }
+	a := make([]float64, n*n)
+	mod := func(x, m int) int {
+		r := x % m
+		if r < 0 {
+			r += m
+		}
+		return r
+	}
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			a[idx(i, j)] = float64(mod(i*7+j*3, 13)) - 6.0
+		}
+	}
+	for i := 1; i <= n; i++ {
+		a[idx(i, i)] += 13.5
+	}
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for k := 1; k <= n-1; k++ {
+		t0 := abs(a[idx(k, k)])
+		l := k
+		for i := k + 1; i <= n; i++ {
+			if abs(a[idx(i, k)]) > t0 {
+				t0 = abs(a[idx(i, k)])
+				l = i
+			}
+		}
+		if t0 == 0 {
+			continue
+		}
+		piv := a[idx(l, k)]
+		a[idx(l, k)] = a[idx(k, k)]
+		a[idx(k, k)] = piv
+		for i := k + 1; i <= n; i++ {
+			a[idx(i, k)] = -a[idx(i, k)] / piv
+		}
+		for j := k + 1; j <= n; j++ {
+			p := a[idx(l, j)]
+			a[idx(l, j)] = a[idx(k, j)]
+			a[idx(k, j)] = p
+			for i := k + 1; i <= n; i++ {
+				a[idx(i, j)] += p * a[idx(i, k)]
+			}
+		}
+	}
+	return a
+}

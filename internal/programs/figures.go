@@ -1,0 +1,144 @@
+package programs
+
+// Figure1 is the paper's §2.1 example: the four scalar mapping flavors
+// (induction variable m, consumer-aligned x, producer-aligned y, and
+// privatized-without-alignment z).
+const Figure1 = `
+program figure1
+parameter n = 100
+real a(n), b(n), c(n), d(n), e(n), f(n)
+real x, y, z
+integer i, m
+!hpf$ align (i) with a(i) :: b, c, d
+!hpf$ align (i) with a(*) :: e, f
+!hpf$ distribute (block) :: a
+m = 2
+do i = 2, n-1
+  m = m + 1
+  x = b(i) + c(i)
+  y = a(i) + b(i)
+  z = e(i) + f(i)
+  a(i+1) = y / z
+  d(m) = x / z
+end do
+end
+`
+
+// Figure2 illustrates availability requirements for subscripts: p feeds a
+// local subscript, q a subscript that must be broadcast.
+const Figure2 = `
+program figure2
+parameter n = 64
+real h(n,n), g(n,n), a(n), b(n), c(n)
+real p, q
+integer i
+!hpf$ align g(i,j) with h(i,j)
+!hpf$ align a(i) with h(i,*)
+!hpf$ distribute (block,*) :: h
+do i = 1, n
+  p = b(i)
+  q = c(i)
+  a(i) = h(i,p) + g(q,i)
+end do
+end
+`
+
+// Figure4 demonstrates AlignLevel: the non-affine subscript s pushes
+// B(s,j,k)'s alignment validity to the k loop.
+const Figure4 = `
+program figure4
+parameter n = 8
+real a(n,n,n), b(n,n,n)
+real s
+integer i, j, k
+!hpf$ distribute (block,block,*) :: a, b
+do i = 1, n
+  do j = 1, n
+    s = a(i,j,1)
+    do k = 1, n
+      a(i,j,k) = 1.0
+      b(s,j,k) = 2.0
+    end do
+  end do
+end do
+end
+`
+
+// Figure5 is the reduction-mapping example: s is replicated across the
+// reduction (second) grid dimension and aligned with row i of A in the
+// first.
+const Figure5 = `
+program figure5
+parameter n = 64
+real a(n,n), b(n)
+real s
+integer i, j
+!hpf$ align b(i) with a(i,*)
+!hpf$ distribute (block,block) :: a
+do i = 1, n
+  s = 0.0
+  do j = 1, n
+    s = s + a(i,j)
+  end do
+  b(i) = s
+end do
+end
+`
+
+// Figure6 is the partial-privatization example adapted from APPSP: c is
+// privatizable with respect to the k loop but not the j loop.
+const Figure6 = `
+program figure6
+parameter nx = 8
+parameter ny = 8
+parameter nz = 8
+real c(nx,ny,3), rsd(5,nx,ny,nz)
+integer i, j, k
+!hpf$ distribute (*,*,block,block) :: rsd
+!hpf$ independent, new(c)
+do k = 2, nz-1
+  do j = 2, ny-1
+    do i = 2, nx-1
+      c(i,j,1) = rsd(2,i,j,k) + 1.0
+    end do
+  end do
+  do j = 3, ny-1
+    do i = 2, nx-1
+      rsd(1,i,j,k) = c(i,j-1,1) * 2.0
+    end do
+  end do
+end do
+end
+`
+
+// Figure7 is the control-flow privatization example: both IF statements
+// transfer control only within the i loop.
+const Figure7 = `
+program figure7
+parameter n = 64
+real a(n), b(n), c(n)
+integer i
+!hpf$ align (i) with a(i) :: b, c
+!hpf$ distribute (block) :: a
+do i = 1, n
+  if (b(i) /= 0.0) then
+    a(i) = a(i) / b(i)
+    if (b(i) < 0.0) goto 100
+  else
+    a(i) = c(i)
+    c(i) = c(i) * c(i)
+  end if
+100 continue
+end do
+end
+`
+
+// Figures maps figure names to their sources, for the examples and tools.
+var Figures = map[string]string{
+	"figure1": Figure1,
+	"figure2": Figure2,
+	"figure4": Figure4,
+	"figure5": Figure5,
+	"figure6": Figure6,
+	"figure7": Figure7,
+}

@@ -1,0 +1,136 @@
+// Package programs holds the benchmark kernels of the paper's evaluation
+// (§5) as mini-HPF sources — TOMCATV, DGEFA and an APPSP-style sweep — plus
+// sequential Go reference implementations used to validate the simulator's
+// numerics, and the paper's figure examples.
+package programs
+
+import "fmt"
+
+// TOMCATV returns the mesh-generation kernel (SPEC92 TOMCATV with HPF
+// directives, §5.1): a residual stencil over the mesh, max-residual
+// reductions, a column-local smoothing recurrence, and the mesh update. The
+// per-point geometry scalars (xx, yx, xy, yy, aa, bb, cc) are the
+// privatization targets whose mapping Table 1 varies; column distribution
+// is (*,BLOCK).
+func TOMCATV(n, niter int) string {
+	return fmt.Sprintf(`
+program tomcatv
+parameter n = %d
+parameter niter = %d
+real x(n,n), y(n,n), rx(n,n), ry(n,n)
+real xx, yx, xy, yy, aa, bb, cc, rxm, rym, r1, r2
+integer i, j, it
+!hpf$ align (i,j) with x(i,j) :: y, rx, ry
+!hpf$ distribute (*,block) :: x
+do j = 1, n
+  do i = 1, n
+    x(i,j) = i * 1.0 + j * 0.01
+    y(i,j) = j * 1.0 + i * 0.01
+  end do
+end do
+do it = 1, niter
+  do j = 2, n-1
+    do i = 2, n-1
+      xx = x(i+1,j) - x(i-1,j)
+      yx = y(i+1,j) - y(i-1,j)
+      xy = x(i,j+1) - x(i,j-1)
+      yy = y(i,j+1) - y(i,j-1)
+      aa = 0.25 * (xy*xy + yy*yy)
+      bb = 0.25 * (xx*xx + yx*yx)
+      cc = 0.125 * (xx*xy + yx*yy)
+      rx(i,j) = aa*(x(i+1,j) - 2.0*x(i,j) + x(i-1,j)) + bb*(x(i,j+1) - 2.0*x(i,j) + x(i,j-1)) - cc*(x(i+1,j+1) - x(i+1,j-1) - x(i-1,j+1) + x(i-1,j-1))
+      ry(i,j) = aa*(y(i+1,j) - 2.0*y(i,j) + y(i-1,j)) + bb*(y(i,j+1) - 2.0*y(i,j) + y(i,j-1)) - cc*(y(i+1,j+1) - y(i+1,j-1) - y(i-1,j+1) + y(i-1,j-1))
+    end do
+  end do
+  rxm = 0.0
+  rym = 0.0
+  do j = 2, n-1
+    do i = 2, n-1
+      rxm = max(rxm, abs(rx(i,j)))
+      rym = max(rym, abs(ry(i,j)))
+    end do
+  end do
+  do j = 2, n-1
+    do i = 3, n-1
+      r1 = rx(i,j) + 0.45 * rx(i-1,j)
+      rx(i,j) = r1
+      r2 = ry(i,j) + 0.45 * ry(i-1,j)
+      ry(i,j) = r2
+    end do
+  end do
+  do j = 2, n-1
+    do i = 2, n-1
+      x(i,j) = x(i,j) + 0.05 * rx(i,j)
+      y(i,j) = y(i,j) + 0.05 * ry(i,j)
+    end do
+  end do
+end do
+end
+`, n, niter)
+}
+
+// TOMCATVRef runs the identical computation sequentially. It returns the
+// final x and y meshes (flattened column-major like the simulator: element
+// (i,j) at (j-1)*n+(i-1)) and the last iteration's residual maxima.
+func TOMCATVRef(n, niter int) (x, y []float64, rxm, rym float64) {
+	idx := func(i, j int) int { return (j-1)*n + (i - 1) }
+	x = make([]float64, n*n)
+	y = make([]float64, n*n)
+	rx := make([]float64, n*n)
+	ry := make([]float64, n*n)
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			x[idx(i, j)] = float64(i) + float64(j)*0.01
+			y[idx(i, j)] = float64(j) + float64(i)*0.01
+		}
+	}
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	for it := 0; it < niter; it++ {
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				xx := x[idx(i+1, j)] - x[idx(i-1, j)]
+				yx := y[idx(i+1, j)] - y[idx(i-1, j)]
+				xy := x[idx(i, j+1)] - x[idx(i, j-1)]
+				yy := y[idx(i, j+1)] - y[idx(i, j-1)]
+				aa := 0.25 * (xy*xy + yy*yy)
+				bb := 0.25 * (xx*xx + yx*yx)
+				cc := 0.125 * (xx*xy + yx*yy)
+				rx[idx(i, j)] = aa*(x[idx(i+1, j)]-2.0*x[idx(i, j)]+x[idx(i-1, j)]) +
+					bb*(x[idx(i, j+1)]-2.0*x[idx(i, j)]+x[idx(i, j-1)]) -
+					cc*(x[idx(i+1, j+1)]-x[idx(i+1, j-1)]-x[idx(i-1, j+1)]+x[idx(i-1, j-1)])
+				ry[idx(i, j)] = aa*(y[idx(i+1, j)]-2.0*y[idx(i, j)]+y[idx(i-1, j)]) +
+					bb*(y[idx(i, j+1)]-2.0*y[idx(i, j)]+y[idx(i, j-1)]) -
+					cc*(y[idx(i+1, j+1)]-y[idx(i+1, j-1)]-y[idx(i-1, j+1)]+y[idx(i-1, j-1)])
+			}
+		}
+		rxm, rym = 0, 0
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				if a := abs(rx[idx(i, j)]); a > rxm {
+					rxm = a
+				}
+				if a := abs(ry[idx(i, j)]); a > rym {
+					rym = a
+				}
+			}
+		}
+		for j := 2; j <= n-1; j++ {
+			for i := 3; i <= n-1; i++ {
+				rx[idx(i, j)] += 0.45 * rx[idx(i-1, j)]
+				ry[idx(i, j)] += 0.45 * ry[idx(i-1, j)]
+			}
+		}
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				x[idx(i, j)] += 0.05 * rx[idx(i, j)]
+				y[idx(i, j)] += 0.05 * ry[idx(i, j)]
+			}
+		}
+	}
+	return x, y, rxm, rym
+}

@@ -1,0 +1,152 @@
+package spmd
+
+import (
+	"testing"
+
+	"phpf/internal/ast"
+	"phpf/internal/core"
+)
+
+func TestShrinkSimpleLocalLoop(t *testing.T) {
+	src := `
+program t
+parameter n = 100
+real a(n), b(n)
+integer i
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do i = 1, n
+  a(i) = b(i) * 2.0
+end do
+end
+`
+	p := gen(t, src, 4, core.DefaultOptions())
+	shrink := p.ShrinkableLoops()
+	loop := p.Res.Prog.Loops[0]
+	info := shrink[loop]
+	if info == nil {
+		t.Fatal("local loop should shrink")
+	}
+	if info.GridDim != 0 || info.Kind != ast.DistBlock || info.Block != 25 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.MaxSkew != 0 {
+		t.Errorf("skew = %d, want 0", info.MaxSkew)
+	}
+	// Local ranges partition [1,100] into 25-iteration chunks.
+	total := int64(0)
+	for c := 0; c < 4; c++ {
+		lo, hi, ok := info.LocalRange(c, 4, 1, 100)
+		if !ok {
+			t.Fatalf("coord %d has no range", c)
+		}
+		total += hi - lo + 1
+	}
+	if total != 100 {
+		t.Errorf("ranges cover %d iterations, want 100", total)
+	}
+}
+
+func TestShrinkWithHalo(t *testing.T) {
+	// The stencil writes a(i) but x is aligned with a(i+1)-style shifted
+	// consumers; the skew extends the local range.
+	src := `
+program t
+parameter n = 100
+real a(n), b(n)
+integer i
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do i = 2, n-1
+  a(i) = b(i-1) + b(i+1)
+end do
+end
+`
+	p := gen(t, src, 4, core.DefaultOptions())
+	info := p.ShrinkableLoops()[p.Res.Prog.Loops[0]]
+	if info == nil {
+		t.Fatal("stencil loop should shrink (communication is hoisted)")
+	}
+	lo, hi, ok := info.LocalRange(1, 4, 2, 99)
+	if !ok || lo > 26 || hi < 50 {
+		t.Errorf("range = [%d,%d] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestNoShrinkWithReplicatedStatement(t *testing.T) {
+	src := `
+program t
+parameter n = 100
+real a(n), b(n), u(n)
+real x
+integer i
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do i = 1, n
+  x = u(i)
+  a(i) = b(i) + x
+end do
+end
+`
+	// u is unmapped/replicated; x's rhs is replicated → x privatized
+	// without alignment (union guard), which still shrinks. Force a truly
+	// replicated statement instead: a scalar needed by all (loop bound of
+	// an inner loop is overkill here, so use the naive strategy).
+	opts := core.DefaultOptions()
+	opts.Scalars = core.ScalarsReplicated
+	p := gen(t, src, 4, opts)
+	if info := p.ShrinkableLoops()[p.Res.Prog.Loops[0]]; info != nil {
+		t.Errorf("loop with a replicated statement must not shrink: %v", info)
+	}
+}
+
+func TestNoShrinkWithInnerLoopComm(t *testing.T) {
+	// Producer alignment leaves x's communication inside the loop (the
+	// Figure 1 y-case): the loop must not shrink.
+	src := `
+program t
+parameter n = 100
+real a(n), b(n)
+real x
+integer i
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do i = 2, n-1
+  x = a(i) + b(i)
+  a(i+1) = x * 0.5
+end do
+end
+`
+	p := gen(t, src, 4, core.DefaultOptions())
+	if info := p.ShrinkableLoops()[p.Res.Prog.Loops[0]]; info != nil {
+		t.Errorf("loop with per-instance communication must not shrink: %v", info)
+	}
+}
+
+func TestShrinkOuterLoopOnly(t *testing.T) {
+	// Column distribution: the j-loop shrinks, the i-loop does not
+	// partition anything (its dimension is collapsed) but is harmless.
+	src := `
+program t
+parameter n = 64
+real a(n,n), b(n,n)
+integer i, j
+!hpf$ align b(i,j) with a(i,j)
+!hpf$ distribute (*,block) :: a
+do j = 1, n
+  do i = 1, n
+    a(i,j) = b(i,j) * 2.0
+  end do
+end do
+end
+`
+	p := gen(t, src, 4, core.DefaultOptions())
+	shrink := p.ShrinkableLoops()
+	jLoop, iLoop := p.Res.Prog.Loops[0], p.Res.Prog.Loops[1]
+	if shrink[jLoop] == nil {
+		t.Error("j-loop should shrink over the column distribution")
+	}
+	if shrink[iLoop] != nil {
+		t.Error("i-loop has no partitioned dimension to shrink over")
+	}
+}

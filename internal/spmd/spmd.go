@@ -1,0 +1,280 @@
+// Package spmd lowers the mapping decisions and the communication plan into
+// an explicit SPMD program: every statement carries an execution-set
+// specification (the owner-computes guard), vectorized communication
+// operations are attached to the loop they were hoisted to, per-instance
+// communications to their statement, and reduction combines to the loop
+// after which they run. The form is directly interpretable (package sim)
+// and printable (cmd/phpfc).
+package spmd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phpf/internal/ast"
+	"phpf/internal/comm"
+	"phpf/internal/core"
+	"phpf/internal/ir"
+)
+
+// ExecKind describes how a statement's execution set is determined.
+type ExecKind int
+
+const (
+	// ExecAll: every processor executes the statement.
+	ExecAll ExecKind = iota
+	// ExecOwner: the owners of OwnerRef execute (owner-computes).
+	ExecOwner
+	// ExecPattern: the processors matching the scalar mapping's pattern
+	// (aligned scalars, reduction results).
+	ExecPattern
+	// ExecUnion: the union of processors executing the other statements of
+	// the current iteration (privatization without alignment, privatized
+	// control flow).
+	ExecUnion
+)
+
+func (k ExecKind) String() string {
+	switch k {
+	case ExecAll:
+		return "all"
+	case ExecOwner:
+		return "owner"
+	case ExecPattern:
+		return "pattern"
+	case ExecUnion:
+		return "union"
+	}
+	return "?"
+}
+
+// StmtPlan is the SPMD execution plan of one statement.
+type StmtPlan struct {
+	Stmt *ir.Stmt
+	Kind ExecKind
+	// OwnerRef is the reference whose owners execute (ExecOwner): the lhs
+	// for array assignments, the alignment target for aligned scalars, the
+	// reduction data reference for reduction updates.
+	OwnerRef *ir.Ref
+	// Scalar is the mapping decision for scalar assignments (may be nil).
+	Scalar *core.ScalarMapping
+	// PerInstance lists communications performed at every instance.
+	PerInstance []*comm.Requirement
+	// Flops is the statement's per-instance computation cost in floating
+	// point operations.
+	Flops int
+}
+
+// LoopPlan carries the operations attached to a loop.
+type LoopPlan struct {
+	Loop *ir.Loop
+	// Hoisted communications performed once per instance of this loop
+	// (before the iterations).
+	Hoisted []*comm.Requirement
+	// Combines lists reduction mappings whose global combine runs after
+	// this loop completes.
+	Combines []*core.ScalarMapping
+}
+
+// Program is the complete SPMD program.
+type Program struct {
+	Res   *core.Result
+	Plan  *comm.Plan
+	Stmts map[*ir.Stmt]*StmtPlan
+	Loops map[*ir.Loop]*LoopPlan
+}
+
+// Generate builds the SPMD program for a mapping result.
+func Generate(res *core.Result) *Program {
+	plan := comm.Analyze(res)
+	p := &Program{
+		Res:   res,
+		Plan:  plan,
+		Stmts: map[*ir.Stmt]*StmtPlan{},
+		Loops: map[*ir.Loop]*LoopPlan{},
+	}
+	for _, st := range res.Prog.Stmts {
+		p.Stmts[st] = p.planStmt(st)
+	}
+	for _, l := range res.Prog.Loops {
+		lp := &LoopPlan{Loop: l, Hoisted: plan.AtLoop[l]}
+		p.Loops[l] = lp
+	}
+	// Attach reduction combines to their outermost carried loop.
+	for _, m := range res.Scalars {
+		if m.Kind != core.ScalarReduction || len(m.RedGridDims) == 0 || m.Red == nil {
+			continue
+		}
+		if m.Red.Stmt != m.Def.Stmt {
+			continue // only the update def triggers the combine
+		}
+		outer := m.Red.Loops[len(m.Red.Loops)-1]
+		lp := p.Loops[outer]
+		if lp != nil {
+			lp.Combines = append(lp.Combines, m)
+		}
+	}
+	for _, lp := range p.Loops {
+		sort.Slice(lp.Combines, func(i, j int) bool {
+			return lp.Combines[i].Def.ID < lp.Combines[j].Def.ID
+		})
+	}
+	return p
+}
+
+func (p *Program) planStmt(st *ir.Stmt) *StmtPlan {
+	res := p.Res
+	sp := &StmtPlan{
+		Stmt:        st,
+		PerInstance: p.Plan.ByStmt[st],
+		Flops:       stmtFlops(st),
+	}
+	switch st.Kind {
+	case ir.SAssign:
+		if st.Lhs.Var.IsArray() {
+			sp.Kind = ExecOwner
+			sp.OwnerRef = st.Lhs
+			return sp
+		}
+		m := res.ScalarOfStmt(st)
+		sp.Scalar = m
+		switch {
+		case m == nil || m.Kind == core.ScalarReplicated:
+			sp.Kind = ExecAll
+		case m.Kind == core.ScalarNoAlign:
+			sp.Kind = ExecUnion
+		case m.Kind == core.ScalarReduction:
+			if m.Red != nil && m.Red.DataRef != nil && m.Red.Stmt == st {
+				// The local partial update runs on the data owners.
+				sp.Kind = ExecOwner
+				sp.OwnerRef = m.Red.DataRef
+			} else {
+				sp.Kind = ExecPattern
+			}
+		case m.Kind == core.ScalarAligned:
+			sp.Kind = ExecOwner
+			sp.OwnerRef = m.Target
+		}
+	case ir.SIf, ir.SIfGoto:
+		if res.CtrlPrivatized(st) {
+			sp.Kind = ExecUnion
+		} else {
+			sp.Kind = ExecAll
+		}
+	default: // goto, continue, bounds, redistribute
+		sp.Kind = ExecAll
+	}
+	return sp
+}
+
+// stmtFlops estimates the floating-point work of one statement instance.
+func stmtFlops(st *ir.Stmt) int {
+	n := 0
+	if st.Rhs != nil {
+		n += exprFlops(st.Rhs)
+	}
+	if st.Cond != nil {
+		n += exprFlops(st.Cond)
+	}
+	if st.Kind == ir.SAssign {
+		n++ // the store / addressing share
+	}
+	return n
+}
+
+// exprFlops counts operations in an expression (sqrt and exp weighted
+// heavier, per their latency on 1990s hardware).
+func exprFlops(e ast.Expr) int {
+	n := 0
+	ast.Walk(e, func(x ast.Expr) {
+		switch c := x.(type) {
+		case *ast.BinOp:
+			n++
+		case *ast.UnaryMinus, *ast.Not:
+			n++
+		case *ast.Call:
+			switch c.Name {
+			case "sqrt", "exp":
+				n += 8
+			default:
+				n++
+			}
+		}
+	})
+	return n
+}
+
+// Dump renders the SPMD program as text, one line per statement with its
+// guard and communications — the inspectable "generated code".
+func (p *Program) Dump() string {
+	shrink := p.ShrinkableLoops()
+	var b strings.Builder
+	var walk func(nodes []ir.Node, depth int)
+	ind := func(d int) string { return strings.Repeat("  ", d) }
+	walk = func(nodes []ir.Node, depth int) {
+		for _, n := range nodes {
+			switch x := n.(type) {
+			case *ir.Loop:
+				lp := p.Loops[x]
+				for _, r := range lp.Hoisted {
+					fmt.Fprintf(&b, "%s[comm before %s-loop] %s\n", ind(depth), x.Index.Name, r)
+				}
+				if si := shrink[x]; si != nil {
+					fmt.Fprintf(&b, "%s[shrunk bounds: %s]\n", ind(depth), si)
+				}
+				fmt.Fprintf(&b, "%sdo %s\n", ind(depth), x.Index.Name)
+				walk(x.Body, depth+1)
+				fmt.Fprintf(&b, "%send do\n", ind(depth))
+				for _, m := range lp.Combines {
+					fmt.Fprintf(&b, "%s[combine %s over grid dims %v]\n", ind(depth), m.Def.Var.Name, m.RedGridDims)
+				}
+			case *ir.If:
+				p.dumpStmt(&b, x.Cond, depth)
+				walk(x.Then, depth+1)
+				if len(x.Else) > 0 {
+					fmt.Fprintf(&b, "%selse\n", ind(depth))
+					walk(x.Else, depth+1)
+				}
+				fmt.Fprintf(&b, "%send if\n", ind(depth))
+			case *ir.Stmt:
+				p.dumpStmt(&b, x, depth)
+			}
+		}
+	}
+	walk(p.Res.Prog.Body, 0)
+	return b.String()
+}
+
+func (p *Program) dumpStmt(b *strings.Builder, st *ir.Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	sp := p.Stmts[st]
+	guard := sp.Kind.String()
+	if sp.OwnerRef != nil {
+		guard = fmt.Sprintf("owner(%s)", sp.OwnerRef)
+	}
+	for _, r := range sp.PerInstance {
+		fmt.Fprintf(b, "%s[comm] %s\n", ind, r)
+	}
+	fmt.Fprintf(b, "%s[%s] s%d %s\n", ind, guard, st.ID, describeStmt(st))
+}
+
+func describeStmt(st *ir.Stmt) string {
+	switch st.Kind {
+	case ir.SAssign:
+		return fmt.Sprintf("%s = ...", st.Lhs)
+	case ir.SIf:
+		return "if (...)"
+	case ir.SIfGoto:
+		return fmt.Sprintf("if (...) goto %d", st.Label)
+	case ir.SGoto:
+		return fmt.Sprintf("goto %d", st.Label)
+	case ir.SContinue:
+		return fmt.Sprintf("%d continue", st.Label)
+	case ir.SRedistribute:
+		return fmt.Sprintf("redistribute %s", st.Redist.Array.Name)
+	case ir.SLoopBounds:
+		return "loop bounds"
+	}
+	return "?"
+}

@@ -1,0 +1,144 @@
+// Package ssa constructs static single assignment form for the scalar
+// variables of a lowered program (Cytron et al. [5] in the paper), and
+// exposes the def-use relations the privatization analysis is built on:
+// reaching definitions of a use and reached uses of a definition, traced
+// through phi functions.
+package ssa
+
+import (
+	"phpf/internal/ir"
+)
+
+// DomInfo holds dominator-tree information for a CFG, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm over a reverse postorder.
+type DomInfo struct {
+	// Reachable lists blocks reachable from entry in reverse postorder.
+	Reachable []*ir.Block
+	// RPO[b.ID] is the reverse-postorder number (only for reachable blocks).
+	RPO []int
+	// Idom[b.ID] is the immediate dominator (nil for entry / unreachable).
+	Idom []*ir.Block
+	// Children[b.ID] lists the dominator-tree children of b.
+	Children [][]*ir.Block
+	// Frontier[b.ID] is the dominance frontier of b.
+	Frontier [][]*ir.Block
+
+	isReachable []bool
+}
+
+// ComputeDom computes dominators and dominance frontiers for g.
+func ComputeDom(g *ir.CFG) *DomInfo {
+	n := len(g.Blocks)
+	d := &DomInfo{
+		RPO:         make([]int, n),
+		Idom:        make([]*ir.Block, n),
+		Children:    make([][]*ir.Block, n),
+		Frontier:    make([][]*ir.Block, n),
+		isReachable: make([]bool, n),
+	}
+	// Postorder DFS from entry.
+	var post []*ir.Block
+	visited := make([]bool, n)
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		visited[b.ID] = true
+		for _, s := range b.Succs {
+			if !visited[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	// Reverse postorder.
+	for i := len(post) - 1; i >= 0; i-- {
+		b := post[i]
+		d.RPO[b.ID] = len(d.Reachable)
+		d.Reachable = append(d.Reachable, b)
+		d.isReachable[b.ID] = true
+	}
+
+	// Iterative dominator computation.
+	intersect := func(b1, b2 *ir.Block) *ir.Block {
+		for b1 != b2 {
+			for d.RPO[b1.ID] > d.RPO[b2.ID] {
+				b1 = d.Idom[b1.ID]
+			}
+			for d.RPO[b2.ID] > d.RPO[b1.ID] {
+				b2 = d.Idom[b2.ID]
+			}
+		}
+		return b1
+	}
+	d.Idom[g.Entry.ID] = g.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.Reachable {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if !d.isReachable[p.ID] || d.Idom[p.ID] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.Idom[b.ID] != newIdom {
+				d.Idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.Idom[g.Entry.ID] = nil // entry has no idom
+
+	for _, b := range d.Reachable {
+		if id := d.Idom[b.ID]; id != nil {
+			d.Children[id.ID] = append(d.Children[id.ID], b)
+		}
+	}
+
+	// Dominance frontiers (Cytron et al.).
+	for _, b := range d.Reachable {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if !d.isReachable[p.ID] {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != d.Idom[b.ID] {
+				d.Frontier[runner.ID] = appendUnique(d.Frontier[runner.ID], b)
+				runner = d.Idom[runner.ID]
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomInfo) Dominates(a, b *ir.Block) bool {
+	for x := b; x != nil; x = d.Idom[x.ID] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// IsReachable reports whether b is reachable from entry.
+func (d *DomInfo) IsReachable(b *ir.Block) bool { return d.isReachable[b.ID] }
+
+func appendUnique(s []*ir.Block, b *ir.Block) []*ir.Block {
+	for _, x := range s {
+		if x == b {
+			return s
+		}
+	}
+	return append(s, b)
+}

@@ -1,0 +1,243 @@
+// Package phpf reproduces the compiler framework of Gupta, "On
+// Privatization of Variables for Data-Parallel Execution" (IPPS 1997): an
+// HPF-like mini-language, the privatization and mapping analyses of the phpf
+// prototype compiler (scalar alignment selection, reduction mapping, full
+// and partial array privatization, control-flow privatization), SPMD code
+// generation under the owner-computes rule with message vectorization, and
+// a deterministic IBM SP2-style machine simulator that executes the
+// compiled programs and reports execution time and communication activity.
+//
+// Typical use:
+//
+//	c, err := phpf.Compile(source, 16, phpf.SelectedOptions())
+//	out, err := c.Run(phpf.RunConfig{})
+//	fmt.Println(out.Time, out.Stats)
+package phpf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"phpf/internal/core"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/machine"
+	"phpf/internal/parser"
+	"phpf/internal/programs"
+	"phpf/internal/sim"
+	"phpf/internal/spmd"
+)
+
+// Re-exported option types: one import suffices for the whole API.
+type (
+	// Options selects which of the paper's optimizations the compiler
+	// applies (see core.Options).
+	Options = core.Options
+	// ScalarStrategy is the scalar-mapping level of Table 1.
+	ScalarStrategy = core.ScalarStrategy
+	// MachineParams are the simulated machine's cost parameters.
+	MachineParams = machine.Params
+	// Stats aggregates simulated communication activity.
+	Stats = machine.Stats
+)
+
+// Scalar strategies (Table 1 columns).
+const (
+	ScalarsReplicated      = core.ScalarsReplicated
+	ScalarsProducerAligned = core.ScalarsProducerAligned
+	ScalarsSelected        = core.ScalarsSelected
+)
+
+// SelectedOptions is the full compiler of §2.2–§4 (Table 1 "Selected
+// Alignment", Table 2 "Alignment", Table 3 privatization columns).
+func SelectedOptions() Options { return core.DefaultOptions() }
+
+// ProducerOptions is the Table 1 middle column: privatization with
+// producer-only alignment.
+func ProducerOptions() Options {
+	o := core.DefaultOptions()
+	o.Scalars = ScalarsProducerAligned
+	return o
+}
+
+// NaiveOptions is the Table 1 first column: no privatization — every scalar
+// replicated, reduction variables included.
+func NaiveOptions() Options {
+	o := core.DefaultOptions()
+	o.Scalars = ScalarsReplicated
+	o.AlignReductions = false
+	return o
+}
+
+// SP2Params returns the default machine parameters (IBM SP2 thin nodes).
+func SP2Params() MachineParams { return machine.SP2() }
+
+// Compiled is a fully analyzed program ready to simulate.
+type Compiled struct {
+	Source string
+	NProcs int
+	Opts   Options
+
+	Result *core.Result
+	SPMD   *spmd.Program
+}
+
+// Compile parses, analyzes and lowers a mini-HPF program for nprocs
+// processors.
+func Compile(source string, nprocs int, opts Options) (*Compiled, error) {
+	ap, err := parser.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("phpf: %w", err)
+	}
+	res, err := core.BuildAndAnalyze(ap, nprocs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("phpf: %w", err)
+	}
+	return &Compiled{
+		Source: source,
+		NProcs: nprocs,
+		Opts:   opts,
+		Result: res,
+		SPMD:   spmd.Generate(res),
+	}, nil
+}
+
+// RunConfig configures a simulation.
+type RunConfig struct {
+	// Params are the machine cost parameters (SP2Params() when zero).
+	Params MachineParams
+	// MaxSeconds aborts once simulated time exceeds it (0 = unlimited) —
+	// the paper's "> 1 day (aborted)" entries.
+	MaxSeconds float64
+	// Profile collects per-statement time attribution (RunResult.Profile).
+	Profile bool
+}
+
+// RunResult is the outcome of a simulated execution.
+type RunResult = sim.Result
+
+// Run executes the compiled program on the simulated machine.
+func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
+	return sim.Run(c.SPMD, sim.Config{
+		Params:     cfg.Params,
+		MaxSeconds: cfg.MaxSeconds,
+		Profile:    cfg.Profile,
+	})
+}
+
+// FormatProfile renders a profile as a hot-statement table (top n entries).
+func FormatProfile(prof []sim.StmtProfile, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %12s %10s  statement\n", "line", "instances", "seconds")
+	for i, p := range prof {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(&b, "%8d %12d %10.4f  s%d (%s)\n",
+			p.Stmt.Line, p.Instances, p.Seconds, p.Stmt.ID, p.Stmt.Kind)
+	}
+	return b.String()
+}
+
+// DumpSPMD renders the generated SPMD program (guards and communication).
+func (c *Compiled) DumpSPMD() string { return c.SPMD.Dump() }
+
+// MappingReport lists every mapping decision: scalar definitions, privatized
+// arrays, and control flow statements.
+func (c *Compiled) MappingReport() string {
+	var b strings.Builder
+	res := c.Result
+	fmt.Fprintf(&b, "grid %s\n", res.Mapping.Grid)
+
+	var lines []string
+	for _, m := range res.Scalars {
+		lines = append(lines, "scalar "+m.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l + "\n")
+	}
+
+	var arrays []string
+	for _, ap := range res.Arrays {
+		arrays = append(arrays, "array "+ap.String())
+	}
+	sort.Strings(arrays)
+	for _, l := range arrays {
+		b.WriteString(l + "\n")
+	}
+
+	for _, st := range res.Prog.Stmts {
+		if st.Kind != ir.SIf && st.Kind != ir.SIfGoto {
+			continue
+		}
+		state := "executed on all processors"
+		if res.CtrlPrivatized(st) {
+			state = "privatized"
+		}
+		fmt.Fprintf(&b, "control s%d (line %d): %s\n", st.ID, st.Line, state)
+	}
+
+	for _, iv := range res.Inductions {
+		fmt.Fprintf(&b, "induction %s in %s-loop: init=%d incr=%d\n",
+			iv.Var.Name, iv.Loop.Index.Name, iv.Init, iv.Incr)
+	}
+	for _, red := range res.Reductions {
+		fmt.Fprintf(&b, "reduction %s (%s) carried by %s-loop\n",
+			red.Var.Name, red.Op, red.Loop.Index.Name)
+	}
+	return b.String()
+}
+
+// CommReport summarizes the communication plan.
+func (c *Compiled) CommReport() string {
+	p := c.SPMD.Plan
+	var b strings.Builder
+	counts := p.CountByClass()
+	var classes []dist.CommClass
+	for cl := range counts {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, cl := range classes {
+		fmt.Fprintf(&b, "%s: %d\n", cl, counts[cl])
+	}
+	b.WriteString(p.Summary())
+	if len(p.Reqs) > 0 {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark sources (the paper's §5 programs)
+
+// TOMCATVSource returns the TOMCATV kernel (§5.1) at the given size.
+func TOMCATVSource(n, niter int) string { return programs.TOMCATV(n, niter) }
+
+// DGEFASource returns the DGEFA kernel (§5.2) at the given size.
+func DGEFASource(n int) string { return programs.DGEFA(n) }
+
+// APPSPSource returns the APPSP-style kernel (§5.3); twoD selects the fixed
+// 2-D distribution, otherwise the 1-D distribution with transposes.
+func APPSPSource(nx, ny, nz, niter int, twoD bool) string {
+	return programs.APPSP(nx, ny, nz, niter, twoD)
+}
+
+// FigureSource returns one of the paper's figure examples ("figure1",
+// "figure2", "figure4", "figure5", "figure6", "figure7").
+func FigureSource(name string) (string, bool) {
+	s, ok := programs.Figures[name]
+	return s, ok
+}
+
+// FigureNames lists the available figure examples, sorted.
+func FigureNames() []string {
+	var out []string
+	for n := range programs.Figures {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

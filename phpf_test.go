@@ -1,0 +1,206 @@
+package phpf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileAndRunQuickstart(t *testing.T) {
+	src := `
+program quick
+parameter n = 64
+real a(n), b(n)
+real x
+integer i
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do i = 2, n-1
+  x = b(i-1) + b(i+1)
+  a(i) = x * 0.5
+end do
+end
+`
+	c, err := Compile(src, 8, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Time <= 0 {
+		t.Error("time should be positive")
+	}
+	if out.Arrays["a"] == nil {
+		t.Error("final memory missing")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := Compile("program t\nx = 1\nend\n", 4, SelectedOptions()); err == nil {
+		t.Error("expected error for undeclared variable")
+	}
+	if _, err := Compile("program t\n(((\nend\n", 4, SelectedOptions()); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestReports(t *testing.T) {
+	src, ok := FigureSource("figure1")
+	if !ok {
+		t.Fatal("figure1 missing")
+	}
+	c, err := Compile(src, 16, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := c.MappingReport()
+	for _, want := range []string{"grid", "aligned", "private-noalign", "induction m"} {
+		if !strings.Contains(mr, want) {
+			t.Errorf("mapping report missing %q:\n%s", want, mr)
+		}
+	}
+	cr := c.CommReport()
+	if !strings.Contains(cr, "shift") {
+		t.Errorf("comm report missing shifts:\n%s", cr)
+	}
+	dump := c.DumpSPMD()
+	if !strings.Contains(dump, "do i") || !strings.Contains(dump, "owner(") {
+		t.Errorf("SPMD dump incomplete:\n%s", dump)
+	}
+}
+
+func TestFigureNames(t *testing.T) {
+	names := FigureNames()
+	if len(names) != 6 {
+		t.Errorf("figures = %v", names)
+	}
+	for _, n := range names {
+		if _, ok := FigureSource(n); !ok {
+			t.Errorf("figure %s missing", n)
+		}
+	}
+	if _, ok := FigureSource("nope"); ok {
+		t.Error("unknown figure should be reported missing")
+	}
+}
+
+func TestOptionPresets(t *testing.T) {
+	if NaiveOptions().Scalars != ScalarsReplicated || NaiveOptions().AlignReductions {
+		t.Error("NaiveOptions wrong")
+	}
+	if ProducerOptions().Scalars != ScalarsProducerAligned {
+		t.Error("ProducerOptions wrong")
+	}
+	if SelectedOptions().Scalars != ScalarsSelected || !SelectedOptions().PartialPrivatization {
+		t.Error("SelectedOptions wrong")
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	rows, err := Table1TOMCATV(17, 1, []int{1, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At 4 processors the paper's ordering holds.
+	r := rows[1]
+	if !(r.Selected.Seconds < r.Producer.Seconds && r.Producer.Seconds < r.Replication.Seconds) {
+		t.Errorf("ordering violated: %+v", r)
+	}
+	s := FormatTable1(17, 1, rows)
+	if !strings.Contains(s, "Replication") || !strings.Contains(s, "#Procs") {
+		t.Errorf("format:\n%s", s)
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	rows, err := Table2DGEFA(48, []int{2, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Aligned.Seconds > r.Default.Seconds*(1+1e-6) {
+			t.Errorf("aligned should never lose at P=%d: %+v", r.Procs, r)
+		}
+	}
+	// The gap grows with the processor count (the paper's "increasing
+	// percentage of the execution time").
+	last := rows[len(rows)-1]
+	if last.Aligned.Seconds >= last.Default.Seconds {
+		t.Errorf("aligned should win at P=%d: %+v", last.Procs, last)
+	}
+	if s := FormatTable2(48, rows); !strings.Contains(s, "Alignment") {
+		t.Errorf("format:\n%s", s)
+	}
+}
+
+func TestTable3Small(t *testing.T) {
+	rows, err := Table3APPSP(4, 8, 8, 1, []int{4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.OneDPriv.Seconds >= r.OneDNoPriv.Seconds {
+		t.Errorf("1-D privatization should win: %+v", r)
+	}
+	if r.TwoDPartial.Seconds >= r.TwoDNoPartial.Seconds {
+		t.Errorf("2-D partial privatization should win: %+v", r)
+	}
+	if s := FormatTable3(4, 8, 8, 1, rows); !strings.Contains(s, "Partial") {
+		t.Errorf("format:\n%s", s)
+	}
+}
+
+func TestCellAbortedString(t *testing.T) {
+	c := Cell{Seconds: 100, Aborted: true}
+	if got := c.String(); !strings.Contains(got, "aborted") {
+		t.Errorf("cell = %q", got)
+	}
+}
+
+// TestProfileAttribution: profiling attributes all simulated time to
+// statements and ranks the hot ones first.
+func TestProfileAttribution(t *testing.T) {
+	src := TOMCATVSource(17, 2)
+	c, err := Compile(src, 4, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(RunConfig{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Profile) == 0 {
+		t.Fatal("empty profile")
+	}
+	for i := 1; i < len(out.Profile); i++ {
+		if out.Profile[i].Seconds > out.Profile[i-1].Seconds {
+			t.Fatal("profile not sorted by descending seconds")
+		}
+	}
+	var total float64
+	for _, p := range out.Profile {
+		total += p.Seconds
+		if p.Instances <= 0 {
+			t.Errorf("statement s%d profiled with %d instances", p.Stmt.ID, p.Instances)
+		}
+	}
+	if total <= 0 {
+		t.Error("no time attributed")
+	}
+	// Profiling must not change the result.
+	plain, err := c.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Time != out.Time {
+		t.Errorf("profiling changed simulated time: %v vs %v", out.Time, plain.Time)
+	}
+	s := FormatProfile(out.Profile, 5)
+	if !strings.Contains(s, "assign") {
+		t.Errorf("formatted profile:\n%s", s)
+	}
+}

@@ -1,0 +1,206 @@
+package phpf
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Cell is one measurement in a reproduced table: a simulated execution time,
+// possibly aborted at the configured limit (the paper's "> 1 day" entries).
+type Cell struct {
+	Seconds float64
+	Aborted bool
+	Stats   Stats
+}
+
+// String renders the cell like the paper's tables.
+func (c Cell) String() string {
+	if c.Aborted {
+		return fmt.Sprintf("> %.2f (aborted)", c.Seconds)
+	}
+	return fmt.Sprintf("%.4f", c.Seconds)
+}
+
+// runCell compiles and simulates one configuration.
+func runCell(source string, nprocs int, opts Options, maxSeconds float64) (Cell, error) {
+	c, err := Compile(source, nprocs, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	out, err := c.Run(RunConfig{MaxSeconds: maxSeconds})
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{Seconds: out.Time, Aborted: out.Aborted, Stats: out.Stats}, nil
+}
+
+// cellJob is one table cell to fill concurrently.
+type cellJob struct {
+	source string
+	nprocs int
+	opts   Options
+	dst    *Cell
+}
+
+// runCells fills all cells concurrently — every cell is an independent
+// compile+simulate pipeline, so the harness fans out across the host's
+// cores. The first error wins.
+func runCells(jobs []cellJob, maxSeconds float64) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j cellJob) {
+			defer wg.Done()
+			cell, err := runCell(j.source, j.nprocs, j.opts, maxSeconds)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			*j.dst = cell
+		}(j)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — TOMCATV under the three scalar-mapping compilers.
+
+// Table1Row is one processor count's measurements.
+type Table1Row struct {
+	Procs       int
+	Replication Cell
+	Producer    Cell
+	Selected    Cell
+}
+
+// Table1TOMCATV reproduces Table 1: TOMCATV execution time under
+// replication, producer alignment, and selected alignment. maxSeconds
+// bounds each simulated run (0 = unlimited).
+func Table1TOMCATV(n, niter int, procs []int, maxSeconds float64) ([]Table1Row, error) {
+	src := TOMCATVSource(n, niter)
+	rows := make([]Table1Row, len(procs))
+	var jobs []cellJob
+	for i, p := range procs {
+		rows[i].Procs = p
+		jobs = append(jobs,
+			cellJob{src, p, NaiveOptions(), &rows[i].Replication},
+			cellJob{src, p, ProducerOptions(), &rows[i].Producer},
+			cellJob{src, p, SelectedOptions(), &rows[i].Selected})
+	}
+	if err := runCells(jobs, maxSeconds); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table 1.
+func FormatTable1(n, niter int, rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. TOMCATV (n=%d, niter=%d) — execution time (s)\n", n, niter)
+	fmt.Fprintf(&b, "%6s %18s %18s %18s\n", "#Procs", "Replication", "Producer Align", "Selected Align")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %18s %18s %18s\n", r.Procs,
+			r.Replication.String(), r.Producer.String(), r.Selected.String())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — DGEFA with and without reduction-variable alignment.
+
+// Table2Row is one processor count's measurements.
+type Table2Row struct {
+	Procs   int
+	Default Cell // reduction variables replicated
+	Aligned Cell // §2.3 mapping
+}
+
+// Table2DGEFA reproduces Table 2.
+func Table2DGEFA(n int, procs []int, maxSeconds float64) ([]Table2Row, error) {
+	src := DGEFASource(n)
+	defOpts := SelectedOptions()
+	defOpts.AlignReductions = false
+	rows := make([]Table2Row, len(procs))
+	var jobs []cellJob
+	for i, p := range procs {
+		rows[i].Procs = p
+		jobs = append(jobs,
+			cellJob{src, p, defOpts, &rows[i].Default},
+			cellJob{src, p, SelectedOptions(), &rows[i].Aligned})
+	}
+	if err := runCells(jobs, maxSeconds); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows like the paper's Table 2.
+func FormatTable2(n int, rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2. DGEFA (n=%d, (*,cyclic)) — execution time (s)\n", n)
+	fmt.Fprintf(&b, "%6s %18s %18s\n", "#Procs", "Default", "Alignment")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %18s %18s\n", r.Procs, r.Default.String(), r.Aligned.String())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — APPSP under 1-D/2-D distributions with privatization toggles.
+
+// Table3Row is one processor count's measurements.
+type Table3Row struct {
+	Procs         int
+	OneDNoPriv    Cell // 1-D, array privatization disabled
+	OneDPriv      Cell // 1-D, privatization (full)
+	TwoDNoPartial Cell // 2-D, no partial privatization
+	TwoDPartial   Cell // 2-D, partial privatization
+}
+
+// Table3APPSP reproduces Table 3. maxSeconds bounds each run; the no-priv
+// configurations are expected to hit it (the paper aborted them after a
+// day).
+func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64) ([]Table3Row, error) {
+	src1 := APPSPSource(nx, ny, nz, niter, false)
+	src2 := APPSPSource(nx, ny, nz, niter, true)
+	noPriv := SelectedOptions()
+	noPriv.PrivatizeArrays = false
+	noPartial := SelectedOptions()
+	noPartial.PartialPrivatization = false
+	rows := make([]Table3Row, len(procs))
+	var jobs []cellJob
+	for i, p := range procs {
+		rows[i].Procs = p
+		jobs = append(jobs,
+			cellJob{src1, p, noPriv, &rows[i].OneDNoPriv},
+			cellJob{src1, p, SelectedOptions(), &rows[i].OneDPriv},
+			cellJob{src2, p, noPartial, &rows[i].TwoDNoPartial},
+			cellJob{src2, p, SelectedOptions(), &rows[i].TwoDPartial})
+	}
+	if err := runCells(jobs, maxSeconds); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows like the paper's Table 3.
+func FormatTable3(nx, ny, nz, niter int, rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3. APPSP (%dx%dx%d, niter=%d) — execution time (s)\n", nx, ny, nz, niter)
+	fmt.Fprintf(&b, "%6s %20s %20s %20s %20s\n", "#Procs",
+		"1-D, No Array Priv", "1-D, Priv", "2-D, No Partial", "2-D, Partial")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %20s %20s %20s %20s\n", r.Procs,
+			r.OneDNoPriv.String(), r.OneDPriv.String(),
+			r.TwoDNoPartial.String(), r.TwoDPartial.String())
+	}
+	return b.String()
+}
