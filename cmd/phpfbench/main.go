@@ -8,6 +8,7 @@
 //	phpfbench                 # all tables at the default (scaled) sizes
 //	phpfbench -table 1        # one table
 //	phpfbench -large          # closer to the paper's sizes (slower)
+//	phpfbench -faults         # loss-rate sweep over the three benchmarks
 package main
 
 import (
@@ -22,6 +23,8 @@ func main() {
 	table := flag.Int("table", 0, "which table to run (1, 2, 3; 0 = all)")
 	large := flag.Bool("large", false, "use sizes closer to the paper's (slower)")
 	maxSec := flag.Float64("max", 100, "per-run simulated-time abort threshold in seconds (the paper's '1 day' scaled to our problem sizes; 0 = unlimited)")
+	faults := flag.Bool("faults", false, "run the fault sweep (loss rates x strategies x benchmarks) instead of the tables")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault sweep")
 	flag.Parse()
 
 	procs := []int{1, 2, 4, 8, 16}
@@ -38,6 +41,28 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "phpfbench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *faults {
+		rates := []float64{0, 0.001, 0.01, 0.05}
+		sweeps := []struct {
+			title  string
+			source string
+			procs  int
+		}{
+			{fmt.Sprintf("TOMCATV (n=%d, niter=%d, p=8)", tomN, tomIter), phpf.TOMCATVSource(tomN, tomIter), 8},
+			{fmt.Sprintf("DGEFA (n=%d, p=8)", dgeN), phpf.DGEFASource(dgeN), 8},
+			{fmt.Sprintf("APPSP (%dx%dx%d, niter=%d, 2-D, p=8)", apN, apN, apN, apIter), phpf.APPSPSource(apN, apN, apN, apIter, true), 8},
+		}
+		for _, s := range sweeps {
+			rows, err := phpf.FaultSweep(s.source, s.procs, rates, *faultSeed, *maxSec)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(phpf.FormatFaultSweep(s.title, rates, rows))
+			fmt.Println()
+		}
+		return
 	}
 
 	if *table == 0 || *table == 1 {

@@ -8,6 +8,12 @@
 //	phpfrun -tomcatv -n 129 -iters 5 -p 16
 //	phpfrun -dgefa -n 128 -p 8
 //	phpfrun -appsp -n 16 -iters 2 -2d -p 16
+//
+// Fault injection (deterministic for a fixed -fault-seed):
+//
+//	phpfrun -dgefa -n 128 -p 8 -fault-seed 42 -loss-rate 0.01
+//	phpfrun -tomcatv -p 16 -crash 3@0.5 -checkpoint-interval 0.1
+//	phpfrun -tomcatv -p 16 -slowdown 2:1.5:0.1:0.4
 package main
 
 import (
@@ -29,6 +35,13 @@ func main() {
 	twoD := flag.Bool("2d", false, "APPSP: use the 2-D distribution")
 	n := flag.Int("n", 129, "built-in kernel size")
 	iters := flag.Int("iters", 5, "built-in kernel iterations")
+
+	faultSeed := flag.Int64("fault-seed", 0, "deterministic seed for fault draws (same seed = same schedule)")
+	lossRate := flag.Float64("loss-rate", 0, "per-message loss probability in [0,1)")
+	dupRate := flag.Float64("dup-rate", 0, "per-message duplication probability in [0,1)")
+	slowdowns := flag.String("slowdown", "", "slowdown windows proc:factor[:start[:duration]],...")
+	crashes := flag.String("crash", "", "fail-stop crashes proc@time,proc@time,...")
+	ckptInterval := flag.Float64("checkpoint-interval", 0, "coordinated checkpoint every so many simulated seconds (0 = off)")
 	flag.Parse()
 
 	var source string
@@ -64,12 +77,39 @@ func main() {
 		os.Exit(2)
 	}
 
+	plan := &phpf.FaultPlan{Seed: *faultSeed, LossRate: *lossRate, DupRate: *dupRate}
+	if *slowdowns != "" {
+		var err error
+		if plan.Slowdowns, err = phpf.ParseSlowdowns(*slowdowns); err != nil {
+			fmt.Fprintf(os.Stderr, "phpfrun: -slowdown: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *crashes != "" {
+		var err error
+		if plan.Crashes, err = phpf.ParseCrashes(*crashes); err != nil {
+			fmt.Fprintf(os.Stderr, "phpfrun: -crash: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if !plan.Active() {
+		plan = nil
+	}
+
 	c, err := phpf.Compile(source, *procs, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
 		os.Exit(1)
 	}
-	out, err := c.Run(phpf.RunConfig{MaxSeconds: *maxSec, Profile: *profile})
+	for _, d := range c.Diags() {
+		fmt.Fprintf(os.Stderr, "phpfrun: warning: %s\n", d)
+	}
+	out, err := c.Run(phpf.RunConfig{
+		MaxSeconds:         *maxSec,
+		Profile:            *profile,
+		Fault:              plan,
+		CheckpointInterval: *ckptInterval,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
 		os.Exit(1)
@@ -82,6 +122,9 @@ func main() {
 	fmt.Printf("optimization:   %s\n", *level)
 	fmt.Printf("simulated time: %.6f s%s\n", out.Time, status)
 	fmt.Printf("communication:  %v\n", out.Stats)
+	if fs := out.Stats.FaultString(); fs != "" {
+		fmt.Printf("faults:         %s\n", fs)
+	}
 	if *profile {
 		fmt.Println("hot statements:")
 		fmt.Print(phpf.FormatProfile(out.Profile, 10))

@@ -12,6 +12,12 @@ import (
 // given processor count: IR construction, CFG + SSA, constant propagation,
 // induction-variable recognition with closed-form rewriting (followed by an
 // SSA rebuild), directive resolution, and the mapping pass.
+//
+// Directive resolution is lenient: a bad mapping directive does not fail the
+// compilation — the directive is skipped (the affected arrays stay
+// replicated, which is always correct) and the problem is recorded in
+// Result.Diags with its source position. Errors are reserved for programs no
+// mapping can make executable (parse/IR construction failures).
 func BuildAndAnalyze(src *ast.Program, nprocs int, opts Options) (*Result, error) {
 	p, err := ir.Build(src)
 	if err != nil {
@@ -36,9 +42,20 @@ func BuildAndAnalyze(src *ast.Program, nprocs int, opts Options) (*Result, error
 		cp = dataflow.PropagateConstants(s)
 	}
 
-	m, err := dist.Resolve(p, nprocs)
+	m, probs, err := dist.ResolveLenient(p, nprocs)
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(p, s, cp, m, ivs, opts), nil
+	res := Analyze(p, s, cp, m, ivs, opts)
+	if len(probs) > 0 {
+		// Mapping problems precede any scalar-mapping diagnostics Analyze
+		// recorded, in source order.
+		diags := make([]Diagnostic, 0, len(probs)+len(res.Diags))
+		for _, pr := range probs {
+			diags = append(diags, Diagnostic{Line: pr.Line, Stage: "mapping",
+				Subject: "directive", Msg: pr.Msg})
+		}
+		res.Diags = append(diags, res.Diags...)
+	}
+	return res, nil
 }

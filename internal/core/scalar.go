@@ -60,15 +60,21 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 		}
 		// Always align with a partitioned producer reference if one exists.
 		if prod := a.selectProducer(st); prod != nil {
-			if lp := a.alignmentLoop(def, prod); lp != nil {
+			if pat := a.refPattern(prod); !patternValid(pat) {
+				a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+					"producer candidate %s has an invalid owner pattern; falling back to replication", prod)
+			} else if lp := a.alignmentLoop(def, prod); lp != nil {
 				m.Kind = ScalarAligned
 				m.Target = prod
 				m.TargetIsConsumer = false
 				m.PrivLoop = lp
-				m.Pattern = a.refPattern(prod)
+				m.Pattern = pat
 				a.record(def, m)
 				a.propagateToSiblings(def, m)
 				return m
+			} else {
+				a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+					"no loop level admits alignment with producer %s; falling back to replication", prod)
 			}
 		}
 		if rhsRepl && a.ssa.IsUniqueDef(def) {
@@ -110,19 +116,41 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 	}
 
 	if target != nil {
-		if lp := a.alignmentLoop(def, target); lp != nil {
+		if pat := a.refPattern(target); !patternValid(pat) {
+			a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+				"alignment candidate %s has an invalid owner pattern; falling back to replication", target)
+		} else if lp := a.alignmentLoop(def, target); lp != nil {
 			m.Kind = ScalarAligned
 			m.Target = target
 			m.TargetIsConsumer = targetIsConsumer
 			m.PrivLoop = lp
-			m.Pattern = a.refPattern(target)
+			m.Pattern = pat
 			a.record(def, m)
 			a.propagateToSiblings(def, m)
 			return m
+		} else {
+			a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+				"no loop level admits alignment with %s; falling back to replication", target)
 		}
 	}
 	a.record(def, m)
 	return m
+}
+
+// patternValid rejects owner patterns with degenerate distributions: a
+// non-replicated grid dimension must have a positive block size and extent,
+// or downstream cost computations divide by zero. Such a candidate is not
+// alignable; the caller degrades to replication with a diagnostic.
+func patternValid(p dist.OwnerPattern) bool {
+	for _, d := range p.Dims {
+		if d.Repl {
+			continue
+		}
+		if d.Block <= 0 || d.Extent <= 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // existingSiblingMapping returns the mapping already recorded for another

@@ -248,6 +248,10 @@ type Result struct {
 
 	Inductions []*dataflow.Induction
 	Reductions []*dataflow.Reduction
+
+	// Diags lists the non-fatal problems the analyses degraded around
+	// (skipped directives, alignment fallbacks), with source positions.
+	Diags []Diagnostic
 }
 
 // ScalarOfStmt returns the mapping of the scalar defined by an assignment

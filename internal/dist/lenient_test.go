@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"phpf/internal/ir"
+	"phpf/internal/parser"
+)
+
+func buildProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ap, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Build(ap)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+const lenientSrc = `
+program t
+parameter n = 16
+real a(n), b(n)
+integer i
+!hpf$ distribute (block) :: nosuch
+!hpf$ distribute (block) :: a
+!hpf$ align b(i) with missing(i)
+do i = 1, n
+  a(i) = 1.0
+end do
+end
+`
+
+// TestResolveLenientSkipsBadDirectives: strict Resolve fails, lenient
+// resolution records the problems and maps what it can.
+func TestResolveLenientSkipsBadDirectives(t *testing.T) {
+	p := buildProg(t, lenientSrc)
+
+	if _, err := Resolve(p, 4); err == nil {
+		t.Fatal("strict Resolve accepted a bad directive")
+	}
+
+	m, probs, err := ResolveLenient(p, 4)
+	if err != nil {
+		t.Fatalf("lenient resolve: %v", err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("want 2 problems, got %d: %v", len(probs), probs)
+	}
+	if probs[0].Line != 6 || !strings.Contains(probs[0].Msg, "nosuch") {
+		t.Errorf("problem 0 = %v, want undeclared 'nosuch' at line 6", probs[0])
+	}
+	if probs[1].Line != 8 || !strings.Contains(probs[1].Msg, "missing") {
+		t.Errorf("problem 1 = %v, want undeclared target 'missing' at line 8", probs[1])
+	}
+	for v, am := range m.Arrays {
+		switch v.Name {
+		case "a":
+			if am.FullyReplicated() {
+				t.Error("valid distribute of a was dropped")
+			}
+		case "b":
+			if !am.FullyReplicated() {
+				t.Error("b's align was skipped; it must default to replication")
+			}
+		}
+	}
+}
+
+// TestResolveLenientStuckChain: an alignment chain with no resolvable root
+// is abandoned as a problem set, one entry per stuck array.
+func TestResolveLenientStuckChain(t *testing.T) {
+	src := `
+program t
+parameter n = 16
+real a(n), b(n)
+integer i
+!hpf$ align a(i) with b(i)
+!hpf$ align b(i) with a(i)
+do i = 1, n
+  a(i) = 1.0
+end do
+end
+`
+	p := buildProg(t, src)
+	m, probs, err := ResolveLenient(p, 4)
+	if err != nil {
+		t.Fatalf("lenient resolve: %v", err)
+	}
+	if len(probs) != 2 {
+		t.Fatalf("want one problem per stuck array, got %v", probs)
+	}
+	for _, am := range m.Arrays {
+		if !am.FullyReplicated() {
+			t.Errorf("stuck-chain array %s should be replicated", am.Var.Name)
+		}
+	}
+}
+
+// TestResolveLenientCleanProgram: no problems on valid directives, and the
+// mapping is identical to strict resolution.
+func TestResolveLenientCleanProgram(t *testing.T) {
+	src := `
+program t
+parameter n = 16
+real a(n), b(n)
+integer i
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do i = 1, n
+  a(i) = b(i)
+end do
+end
+`
+	p := buildProg(t, src)
+	strict, err := Resolve(p, 4)
+	if err != nil {
+		t.Fatalf("strict: %v", err)
+	}
+	lenient, probs, err := ResolveLenient(p, 4)
+	if err != nil {
+		t.Fatalf("lenient: %v", err)
+	}
+	if len(probs) != 0 {
+		t.Fatalf("clean program produced problems: %v", probs)
+	}
+	for v, sm := range strict.Arrays {
+		lm := lenient.Arrays[p.LookupVar(v.Name)]
+		if lm.String() != sm.String() {
+			t.Errorf("%s: lenient %s != strict %s", v.Name, lm, sm)
+		}
+	}
+}
+
+// TestResolveLenientBadNprocs: conditions no mapping exists under are still
+// hard errors.
+func TestResolveLenientBadNprocs(t *testing.T) {
+	p := buildProg(t, lenientSrc)
+	if _, _, err := ResolveLenient(p, 0); err == nil {
+		t.Error("nprocs=0 must remain a hard error")
+	}
+}

@@ -167,6 +167,16 @@ func (m *ArrayMap) String() string {
 	return s
 }
 
+// Problem is a non-fatal mapping issue found during lenient resolution: the
+// offending directive was skipped and the affected arrays default to
+// replication.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
 // Resolve interprets the program's directives for nprocs processors.
 //
 // The grid rank is taken from the PROCESSORS directive if present, else from
@@ -174,9 +184,35 @@ func (m *ArrayMap) String() string {
 // The shape is a near-balanced factorization of nprocs (the PROCESSORS
 // extents give relative ordering only, so one source program can be run at
 // any processor count, as in the paper's experiments).
+//
+// Resolve is strict: the first bad directive is returned as an error.
 func Resolve(p *ir.Program, nprocs int) (*Mapping, error) {
+	m, _, err := resolve(p, nprocs, false)
+	return m, err
+}
+
+// ResolveLenient is Resolve in graceful-degradation mode: bad directives are
+// skipped and recorded as Problems instead of aborting, and every array a
+// skipped directive would have mapped falls back to replication (always a
+// correct, if slower, mapping). The error return covers only conditions no
+// mapping can be built under (nprocs < 1).
+func ResolveLenient(p *ir.Program, nprocs int) (*Mapping, []Problem, error) {
+	return resolve(p, nprocs, true)
+}
+
+func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, error) {
 	if nprocs < 1 {
-		return nil, fmt.Errorf("dist: nprocs must be >= 1, got %d", nprocs)
+		return nil, nil, fmt.Errorf("dist: nprocs must be >= 1, got %d", nprocs)
+	}
+	var probs []Problem
+	// report returns a non-nil error in strict mode (caller aborts) and
+	// records a Problem in lenient mode (caller skips the directive).
+	report := func(line int, format string, args ...interface{}) error {
+		if lenient {
+			probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+			return nil
+		}
+		return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
 	}
 	rank := 0
 	for _, d := range p.Dirs {
@@ -213,21 +249,36 @@ func Resolve(p *ir.Program, nprocs int) (*Mapping, error) {
 		for _, name := range dd.Arrays {
 			v := p.LookupVar(name)
 			if v == nil {
-				return nil, fmt.Errorf("line %d: distribute of undeclared %s", dd.Line, name)
+				if err := report(dd.Line, "distribute of undeclared %s", name); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			if !v.IsArray() {
-				return nil, fmt.Errorf("line %d: distribute of scalar %s", dd.Line, name)
+				if err := report(dd.Line, "distribute of scalar %s", name); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			if len(dd.Formats) != v.Rank() {
-				return nil, fmt.Errorf("line %d: distribute of %s: %d formats for rank %d",
-					dd.Line, name, len(dd.Formats), v.Rank())
+				if err := report(dd.Line, "distribute of %s: %d formats for rank %d",
+					name, len(dd.Formats), v.Rank()); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			if _, dup := m.Arrays[v]; dup {
-				return nil, fmt.Errorf("line %d: %s mapped twice", dd.Line, name)
+				if err := report(dd.Line, "%s mapped twice", name); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
-			am, err := DistributeArray(grid, v, dd.Formats)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", dd.Line, err)
+			am, derr := DistributeArray(grid, v, dd.Formats)
+			if derr != nil {
+				if err := report(dd.Line, "%v", derr); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			m.Arrays[v] = am
 		}
@@ -247,7 +298,10 @@ func Resolve(p *ir.Program, nprocs int) (*Mapping, error) {
 		for _, name := range ad.Arrays {
 			v := p.LookupVar(name)
 			if v == nil {
-				return nil, fmt.Errorf("line %d: align of undeclared %s", ad.Line, name)
+				if err := report(ad.Line, "align of undeclared %s", name); err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			work = append(work, pending{dir: ad, array: v})
 		}
@@ -258,26 +312,47 @@ func Resolve(p *ir.Program, nprocs int) (*Mapping, error) {
 		for _, w := range work {
 			target := p.LookupVar(w.dir.Target)
 			if target == nil {
-				return nil, fmt.Errorf("line %d: align target %s undeclared", w.dir.Line, w.dir.Target)
+				if err := report(w.dir.Line, "align target %s undeclared", w.dir.Target); err != nil {
+					return nil, nil, err
+				}
+				progress = true
+				continue
 			}
 			tm, ok := m.Arrays[target]
 			if !ok {
 				next = append(next, w)
 				continue
 			}
-			am, err := AlignArray(grid, w.array, w.dir, target, tm)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: %v", w.dir.Line, err)
+			am, aerr := AlignArray(grid, w.array, w.dir, target, tm)
+			if aerr != nil {
+				if err := report(w.dir.Line, "%v", aerr); err != nil {
+					return nil, nil, err
+				}
+				progress = true
+				continue
 			}
 			if _, dup := m.Arrays[w.array]; dup {
-				return nil, fmt.Errorf("line %d: %s mapped twice", w.dir.Line, w.array.Name)
+				if err := report(w.dir.Line, "%s mapped twice", w.array.Name); err != nil {
+					return nil, nil, err
+				}
+				progress = true
+				continue
 			}
 			m.Arrays[w.array] = am
 			progress = true
 		}
 		if !progress {
-			return nil, fmt.Errorf("line %d: alignment chain for %s cannot be resolved",
-				next[0].dir.Line, next[0].array.Name)
+			if err := report(next[0].dir.Line, "alignment chain for %s cannot be resolved",
+				next[0].array.Name); err != nil {
+				return nil, nil, err
+			}
+			// Lenient: abandon the whole stuck chain; those arrays stay
+			// replicated. Record the rest so nothing is silently dropped.
+			for _, w := range next[1:] {
+				probs = append(probs, Problem{Line: w.dir.Line,
+					Msg: fmt.Sprintf("alignment chain for %s cannot be resolved", w.array.Name)})
+			}
+			next = nil
 		}
 		work = next
 	}
@@ -292,7 +367,7 @@ func Resolve(p *ir.Program, nprocs int) (*Mapping, error) {
 			m.Arrays[v] = ReplicatedArray(grid, v)
 		}
 	}
-	return m, nil
+	return m, probs, nil
 }
 
 // DistributeArray builds the ArrayMap for a directly distributed array. The

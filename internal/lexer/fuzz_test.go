@@ -1,0 +1,47 @@
+package lexer
+
+import (
+	"errors"
+	"testing"
+
+	"phpf/internal/programs"
+)
+
+// FuzzLex asserts the scanner's robustness contract on arbitrary input: it
+// never panics, and when it rejects the input the error is a *lexer.Error
+// carrying a valid source position.
+func FuzzLex(f *testing.F) {
+	f.Add(programs.TOMCATV(17, 2))
+	f.Add(programs.DGEFA(16))
+	f.Add(programs.APPSP(6, 6, 6, 1, true))
+	for _, src := range programs.Figures {
+		f.Add(src)
+	}
+	f.Add("program t\nx = 1.0e\nend\n")
+	f.Add("!hpf$ distribute (block) :: a\n")
+	f.Add("do i = 1, \x00\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Scan(src)
+		if err != nil {
+			var le *Error
+			if !errors.As(err, &le) {
+				t.Fatalf("scan error is not a *lexer.Error: %T %v", err, err)
+			}
+			if le.Line < 1 || le.Col < 1 {
+				t.Fatalf("error position %d:%d not positive: %v", le.Line, le.Col, le)
+			}
+			return
+		}
+		// A successful scan ends with EOF and every token carries a
+		// positive position.
+		if len(toks) == 0 {
+			t.Fatal("successful scan returned no tokens")
+		}
+		for _, tok := range toks {
+			if tok.Line < 1 || tok.Col < 1 {
+				t.Fatalf("token %v at non-positive position %d:%d", tok.Kind, tok.Line, tok.Col)
+			}
+		}
+	})
+}

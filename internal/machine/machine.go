@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"phpf/internal/dist"
+	"phpf/internal/fault"
 )
 
 // Params are the machine cost parameters, in seconds and bytes/second.
@@ -27,6 +28,46 @@ type Params struct {
 	// "inner-loop communication" penalty that message vectorization
 	// removes.
 	GuardTime float64
+}
+
+// Validate rejects parameter sets that would poison the clocks with NaN or
+// Inf times: non-positive latency, bandwidth, flop time, or element size
+// (a zero bandwidth makes every transfer infinitely long; a negative latency
+// lets time run backwards), and any non-finite value.
+func (p Params) Validate() error {
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"Latency", p.Latency},
+		{"Bandwidth", p.Bandwidth},
+		{"FlopTime", p.FlopTime},
+		{"ElemBytes", float64(p.ElemBytes)},
+	}
+	for _, f := range pos {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("machine: %s must be finite, got %v", f.name, f.v)
+		}
+		if f.v <= 0 {
+			return fmt.Errorf("machine: %s must be positive, got %v", f.name, f.v)
+		}
+	}
+	nonneg := []struct {
+		name string
+		v    float64
+	}{
+		{"Overhead", p.Overhead},
+		{"GuardTime", p.GuardTime},
+	}
+	for _, f := range nonneg {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("machine: %s must be finite, got %v", f.name, f.v)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("machine: %s must be >= 0, got %v", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // SP2 returns parameters approximating a 1995-era IBM SP2 thin node with
@@ -52,6 +93,15 @@ type Stats struct {
 	Reductions   int64
 	PointToPoint int64
 	AllToAlls    int64
+
+	// Fault and recovery activity (all zero on fault-free runs).
+	Retransmits      int64 // lost transmissions repeated after a timeout
+	Duplicates       int64 // spurious duplicate transmissions delivered
+	Crashes          int64 // fail-stop failures recovered from
+	Checkpoints      int64 // coordinated checkpoints taken
+	CheckpointBytes  int64 // state written to stable store at checkpoints
+	RecoveryBytes    int64 // bytes refetched to restore a crashed processor
+	RecoveryMessages int64 // refetch messages during recovery
 }
 
 // Machine is a simulated machine instance.
@@ -60,6 +110,10 @@ type Machine struct {
 	Grid   *dist.Grid
 	Clock  []float64
 	Stats  Stats
+	// Fault, when non-nil, injects message loss/duplication and compute
+	// slowdowns into every cost below. Nil keeps the exact fault-free
+	// arithmetic (pay-for-what-you-use).
+	Fault *fault.Injector
 }
 
 // New creates a machine over the given grid.
@@ -86,6 +140,18 @@ func (m *Machine) Compute(set dist.ProcSet, t float64) {
 	if t == 0 {
 		return
 	}
+	if m.Fault != nil && m.Fault.HasSlowdowns() {
+		if set.IsAll() {
+			for i := range m.Clock {
+				m.Clock[i] += t * m.Fault.SlowFactor(i, m.Clock[i])
+			}
+			return
+		}
+		for _, p := range set.Procs() {
+			m.Clock[p] += t * m.Fault.SlowFactor(p, m.Clock[p])
+		}
+		return
+	}
 	if set.IsAll() {
 		for i := range m.Clock {
 			m.Clock[i] += t
@@ -98,7 +164,63 @@ func (m *Machine) Compute(set dist.ProcSet, t float64) {
 }
 
 // ComputeProc charges t seconds to one processor.
-func (m *Machine) ComputeProc(p int, t float64) { m.Clock[p] += t }
+func (m *Machine) ComputeProc(p int, t float64) {
+	if m.Fault != nil && m.Fault.HasSlowdowns() {
+		t *= m.Fault.SlowFactor(p, m.Clock[p])
+	}
+	m.Clock[p] += t
+}
+
+// retransmitDelay draws the loss decisions for one message and returns the
+// extra sender-side wait before the delivery that finally succeeds: each
+// lost transmission costs one timeout, doubling per attempt (exponential
+// backoff). The sender also pays overhead and the wire bytes again per
+// retransmission. Returns 0 on fault-free machines.
+func (m *Machine) retransmitDelay(from int, bytes int64) float64 {
+	if m.Fault == nil {
+		return 0
+	}
+	delay := 0.0
+	rto := m.Fault.BaseRTO(m.Params.Latency)
+	const maxRetries = 16
+	for try := 0; try < maxRetries && m.Fault.DropMessage(); try++ {
+		m.Stats.Retransmits++
+		m.Stats.Messages++
+		m.Stats.BytesMoved += bytes
+		if from >= 0 {
+			m.Clock[from] += m.Params.Overhead
+		}
+		delay += rto
+		rto *= 2
+	}
+	if m.Fault.DuplicateMessage() {
+		m.Stats.Duplicates++
+		m.Stats.Messages++
+		m.Stats.BytesMoved += bytes
+		if from >= 0 {
+			m.Clock[from] += m.Params.Overhead
+		}
+	}
+	return delay
+}
+
+// collectiveFaultDelay draws loss decisions for the k constituent messages
+// of a collective and returns the added completion delay: the collective
+// finishes one base timeout later per lost constituent (the retransmissions
+// pipeline, so backoff does not compound across distinct messages).
+func (m *Machine) collectiveFaultDelay(k int, bytes int64) float64 {
+	if m.Fault == nil || k <= 0 {
+		return 0
+	}
+	drops := m.Fault.DropsAmong(k)
+	if drops == 0 {
+		return 0
+	}
+	m.Stats.Retransmits += int64(drops)
+	m.Stats.Messages += int64(drops)
+	m.Stats.BytesMoved += bytes * int64(drops)
+	return float64(drops) * m.Fault.BaseRTO(m.Params.Latency)
+}
 
 // xferTime is the wire time of one message.
 func (m *Machine) xferTime(bytes int64) float64 {
@@ -115,6 +237,7 @@ func (m *Machine) Send(from, to int, bytes int64) {
 	}
 	depart := m.Clock[from]
 	m.Clock[from] += m.Params.Overhead
+	depart += m.retransmitDelay(from, bytes)
 	arrive := depart + m.xferTime(bytes)
 	if arrive > m.Clock[to] {
 		m.Clock[to] = arrive
@@ -140,6 +263,7 @@ func (m *Machine) Multicast(from int, dst dist.ProcSet, bytes int64) {
 	m.Stats.Messages += int64(k)
 	m.Stats.BytesMoved += bytes * int64(k)
 	cost := float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
+	cost += m.collectiveFaultDelay(k, bytes)
 	done := m.Clock[from] + cost
 	m.Clock[from] += float64(rounds) * m.Params.Overhead
 	for _, p := range procs {
@@ -165,6 +289,25 @@ func (m *Machine) Shift(set dist.ProcSet, bytesPerProc int64) {
 	m.Stats.Messages += int64(len(procs))
 	m.Stats.BytesMoved += bytesPerProc * int64(len(procs))
 	cost := m.Params.Overhead + m.xferTime(bytesPerProc)
+	if m.Fault != nil {
+		// Each participant's message is lost independently; a lost shift
+		// stalls only its own receiver-sender pair.
+		rto := m.Fault.BaseRTO(m.Params.Latency)
+		for _, p := range procs {
+			extra := 0.0
+			r := rto
+			const maxRetries = 16
+			for try := 0; try < maxRetries && m.Fault.DropMessage(); try++ {
+				m.Stats.Retransmits++
+				m.Stats.Messages++
+				m.Stats.BytesMoved += bytesPerProc
+				extra += r
+				r *= 2
+			}
+			m.Clock[p] += cost + extra
+		}
+		return
+	}
 	for _, p := range procs {
 		m.Clock[p] += cost
 	}
@@ -190,6 +333,7 @@ func (m *Machine) Reduce(set dist.ProcSet, bytes int64) {
 		}
 	}
 	t += float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
+	t += m.collectiveFaultDelay(rounds, bytes)
 	for _, p := range procs {
 		m.Clock[p] = t
 	}
@@ -215,6 +359,7 @@ func (m *Machine) AllToAll(set dist.ProcSet, bytesPerProc int64) {
 	per := float64(k-1)*(m.Params.Latency+m.Params.Overhead) +
 		float64(bytesPerProc)/m.Params.Bandwidth
 	t += per
+	t += m.collectiveFaultDelay(k*(k-1), bytesPerProc)
 	for _, p := range procs {
 		m.Clock[p] = t
 	}
@@ -253,7 +398,7 @@ func (m *Machine) Exchange(src, dst dist.ProcSet, totalBytes int64) {
 		}
 		m.Clock[p] += m.Params.Overhead
 	}
-	arrive := depart + m.xferTime(per)
+	arrive := depart + m.xferTime(per) + m.collectiveFaultDelay(recv, per)
 	for _, p := range dstProcs {
 		if src.Contains(p) {
 			continue
@@ -264,8 +409,67 @@ func (m *Machine) Exchange(src, dst dist.ProcSet, totalBytes int64) {
 	}
 }
 
+// Checkpoint charges a coordinated checkpoint: every processor synchronizes
+// and writes bytesPerProc of local state to stable storage at link speed.
+// bytesPerProc[p] is processor p's live state.
+func (m *Machine) Checkpoint(bytesPerProc []int64) {
+	t := 0.0
+	for _, c := range m.Clock {
+		if c > t {
+			t = c
+		}
+	}
+	m.Stats.Checkpoints++
+	for p := range m.Clock {
+		var b int64
+		if p < len(bytesPerProc) {
+			b = bytesPerProc[p]
+		}
+		m.Stats.CheckpointBytes += b
+		m.Clock[p] = t + m.Params.Latency + float64(b)/m.Params.Bandwidth
+	}
+}
+
+// Recover charges the restoration of processor p after a fail-stop failure:
+// all processors synchronize (coordinated rollback), everyone re-executes
+// the work lost since the last checkpoint (lost seconds), and the restarted
+// processor refetches refetchBytes of non-locally-recoverable state in msgs
+// messages. Replicated private state costs nothing here — that is the
+// mapping-dependent term the recovery experiments measure.
+func (m *Machine) Recover(p int, lost float64, refetchBytes, msgs int64) {
+	t := 0.0
+	for _, c := range m.Clock {
+		if c > t {
+			t = c
+		}
+	}
+	m.Stats.Crashes++
+	m.Stats.RecoveryBytes += refetchBytes
+	m.Stats.RecoveryMessages += msgs
+	t += lost // coordinated re-execution of the lost interval
+	for i := range m.Clock {
+		m.Clock[i] = t
+	}
+	if msgs > 0 {
+		m.Clock[p] = t + float64(msgs)*(m.Params.Latency+m.Params.Overhead) +
+			float64(refetchBytes)/m.Params.Bandwidth
+	}
+}
+
 func (s Stats) String() string {
 	return fmt.Sprintf("msgs=%d bytes=%d bcast=%d shift=%d reduce=%d p2p=%d a2a=%d",
 		s.Messages, s.BytesMoved, s.Broadcasts, s.Shifts, s.Reductions,
 		s.PointToPoint, s.AllToAlls)
+}
+
+// FaultString renders the fault/recovery counters (empty when no fault
+// activity occurred).
+func (s Stats) FaultString() string {
+	if s.Retransmits == 0 && s.Duplicates == 0 && s.Crashes == 0 &&
+		s.Checkpoints == 0 && s.RecoveryBytes == 0 {
+		return ""
+	}
+	return fmt.Sprintf("retrans=%d dup=%d crashes=%d ckpts=%d ckpt_bytes=%d recovery_msgs=%d recovery_bytes=%d",
+		s.Retransmits, s.Duplicates, s.Crashes, s.Checkpoints, s.CheckpointBytes,
+		s.RecoveryMessages, s.RecoveryBytes)
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"phpf/internal/dist"
+	"phpf/internal/fault"
 )
 
 func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
@@ -208,5 +209,203 @@ func TestCostMonotoneInBytesProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Params validation
+
+// TestParamsValidate: the constructor-time validation rejects parameter sets
+// whose costs would otherwise be NaN or Inf.
+func TestParamsValidate(t *testing.T) {
+	if err := SP2().Validate(); err != nil {
+		t.Fatalf("SP2 params rejected: %v", err)
+	}
+	mk := func(f func(*Params)) Params {
+		p := SP2()
+		f(&p)
+		return p
+	}
+	bad := map[string]Params{
+		"zero latency":    mk(func(p *Params) { p.Latency = 0 }),
+		"neg latency":     mk(func(p *Params) { p.Latency = -1e-6 }),
+		"zero bandwidth":  mk(func(p *Params) { p.Bandwidth = 0 }),
+		"neg bandwidth":   mk(func(p *Params) { p.Bandwidth = -1 }),
+		"zero floptime":   mk(func(p *Params) { p.FlopTime = 0 }),
+		"zero elem bytes": mk(func(p *Params) { p.ElemBytes = 0 }),
+		"neg overhead":    mk(func(p *Params) { p.Overhead = -1e-9 }),
+		"neg guard":       mk(func(p *Params) { p.GuardTime = -1e-9 }),
+		"nan latency":     mk(func(p *Params) { p.Latency = math.NaN() }),
+		"inf bandwidth":   mk(func(p *Params) { p.Bandwidth = math.Inf(1) }),
+		"nan floptime":    mk(func(p *Params) { p.FlopTime = math.NaN() }),
+	}
+	for name, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", name, p)
+		}
+	}
+	// Zero overhead and guard time are legitimate (idealized network).
+	ok := mk(func(p *Params) { p.Overhead = 0; p.GuardTime = 0 })
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero overhead/guard rejected: %v", err)
+	}
+}
+
+// TestValidatePreventsNaNPropagation: the exact failure mode validation
+// guards against — a zero bandwidth or NaN latency turns a single Send into
+// a NaN/Inf clock that silently poisons the whole run.
+func TestValidatePreventsNaNPropagation(t *testing.T) {
+	g := dist.NewGrid(2)
+
+	p := SP2()
+	p.Bandwidth = 0 // Validate rejects this...
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	m := New(g, p) // ...because without validation the time becomes +Inf:
+	m.Send(0, 1, 8)
+	if !math.IsInf(m.Time(), 1) {
+		t.Fatalf("expected Inf time under zero bandwidth, got %v", m.Time())
+	}
+
+	p = SP2()
+	p.Latency = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Fatal("NaN latency accepted")
+	}
+	m = New(g, p)
+	m.Send(0, 1, 8)
+	// The NaN arrival time fails every comparison, so the receiver is
+	// silently never synchronized — the message vanishes from the cost
+	// model without any error surfacing.
+	if m.Clock[1] != 0 {
+		t.Fatalf("expected silently-lost arrival under NaN latency, clock[1]=%v", m.Clock[1])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+func testInjector(t *testing.T, plan *fault.Plan) *fault.Injector {
+	t.Helper()
+	in := fault.NewInjector(plan)
+	if in == nil {
+		t.Fatal("plan should be active")
+	}
+	return in
+}
+
+// TestSendRetransmitCharged: a certain-loss-free send and a lossy send
+// differ by the retransmission timeout, and the retry is counted.
+func TestSendRetransmitCharged(t *testing.T) {
+	g := dist.NewGrid(2)
+	p := SP2()
+
+	base := New(g, p)
+	base.Send(0, 1, 800)
+
+	// Find a seed whose first draw drops (rate 0.5 ⇒ a few tries suffice).
+	for seed := int64(0); seed < 64; seed++ {
+		m := New(g, p)
+		m.Fault = testInjector(t, &fault.Plan{Seed: seed, LossRate: 0.5})
+		m.Send(0, 1, 800)
+		if m.Stats.Retransmits > 0 {
+			if m.Clock[1] <= base.Clock[1] {
+				t.Errorf("retransmitted send not slower: %v vs %v", m.Clock[1], base.Clock[1])
+			}
+			if m.Stats.BytesMoved <= base.Stats.BytesMoved {
+				t.Errorf("retransmission bytes not counted: %+v", m.Stats)
+			}
+			return
+		}
+	}
+	t.Fatal("no seed in [0,64) dropped the first message at rate 0.5")
+}
+
+// TestZeroFaultIdentical: an injector with rate 0 never perturbs costs, and
+// a nil injector is the exact seed arithmetic.
+func TestZeroFaultIdentical(t *testing.T) {
+	g := dist.NewGrid(4)
+	p := SP2()
+	run := func(m *Machine) {
+		m.Compute(dist.AllProcs(g), 1e-3)
+		m.Send(0, 1, 800)
+		m.Multicast(0, dist.AllProcs(g), 64)
+		m.Shift(dist.AllProcs(g), 80)
+		m.Reduce(dist.AllProcs(g), 8)
+		m.AllToAll(dist.AllProcs(g), 1000)
+	}
+	a := New(g, p)
+	run(a)
+	b := New(g, p)
+	b.Fault = fault.NewInjector(&fault.Plan{Seed: 9, LossRate: 0}) // nil: inactive
+	if b.Fault != nil {
+		t.Fatal("inactive plan must give nil injector")
+	}
+	run(b)
+	for q := range a.Clock {
+		if a.Clock[q] != b.Clock[q] {
+			t.Fatalf("clock[%d]: %v vs %v", q, a.Clock[q], b.Clock[q])
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestSlowdownFactor: a slowed processor accrues proportionally more time.
+func TestSlowdownFactor(t *testing.T) {
+	g := dist.NewGrid(2)
+	m := New(g, SP2())
+	m.Fault = testInjector(t, &fault.Plan{
+		Slowdowns: []fault.Slowdown{{Proc: 1, Factor: 3}},
+	})
+	m.Compute(dist.AllProcs(g), 2.0)
+	if !approx(m.Clock[0], 2.0) || !approx(m.Clock[1], 6.0) {
+		t.Errorf("clocks = %v, want [2 6]", m.Clock)
+	}
+	m.ComputeProc(1, 1.0)
+	if !approx(m.Clock[1], 9.0) {
+		t.Errorf("ComputeProc not slowed: %v", m.Clock[1])
+	}
+}
+
+// TestCheckpointAndRecover: checkpoint synchronizes and charges the state
+// write; recovery re-executes the lost interval everywhere and charges the
+// refetch only to the restarted processor.
+func TestCheckpointAndRecover(t *testing.T) {
+	g := dist.NewGrid(2)
+	p := SP2()
+	m := New(g, p)
+	m.ComputeProc(0, 1.0)
+	m.Checkpoint([]int64{3500, 3500})
+	want := 1.0 + p.Latency + 3500/p.Bandwidth
+	if !approx(m.Clock[0], want) || !approx(m.Clock[1], want) {
+		t.Fatalf("checkpoint clocks = %v, want %v", m.Clock, want)
+	}
+	if m.Stats.Checkpoints != 1 || m.Stats.CheckpointBytes != 7000 {
+		t.Fatalf("checkpoint stats = %+v", m.Stats)
+	}
+
+	before := m.Time()
+	m.Recover(1, 0.25, 8000, 2)
+	if m.Stats.Crashes != 1 || m.Stats.RecoveryBytes != 8000 || m.Stats.RecoveryMessages != 2 {
+		t.Fatalf("recovery stats = %+v", m.Stats)
+	}
+	if !approx(m.Clock[0], before+0.25) {
+		t.Errorf("survivor clock = %v, want %v", m.Clock[0], before+0.25)
+	}
+	wantCrashed := before + 0.25 + 2*(p.Latency+p.Overhead) + 8000/p.Bandwidth
+	if !approx(m.Clock[1], wantCrashed) {
+		t.Errorf("crashed clock = %v, want %v", m.Clock[1], wantCrashed)
+	}
+
+	// Local-only recovery (replicated state): no refetch charge.
+	m2 := New(g, p)
+	m2.ComputeProc(0, 1.0)
+	t0 := m2.Time()
+	m2.Recover(1, 0.5, 0, 0)
+	if !approx(m2.Clock[1], t0+0.5) {
+		t.Errorf("local recovery should not charge refetch: %v", m2.Clock[1])
 	}
 }

@@ -1,0 +1,50 @@
+package parser
+
+import (
+	"errors"
+	"testing"
+
+	"phpf/internal/lexer"
+	"phpf/internal/programs"
+)
+
+// FuzzParse asserts the parser's robustness contract on arbitrary input: it
+// never panics, and every rejection is a position-bearing *parser.Error or
+// *lexer.Error (line >= 1), never a bare fmt error.
+func FuzzParse(f *testing.F) {
+	f.Add(programs.TOMCATV(17, 2))
+	f.Add(programs.DGEFA(16))
+	f.Add(programs.APPSP(6, 6, 6, 1, true))
+	f.Add(programs.APPSP(6, 6, 6, 1, false))
+	for _, src := range programs.Figures {
+		f.Add(src)
+	}
+	f.Add("program t\n(((\nend\n")
+	f.Add("program t\ndo i = 1, 10\nend\n")
+	f.Add("!hpf$ align b(i) with a(i+1)\n")
+	f.Add("program t\nif (x .gt. 0) goto 10\n10 continue\nend\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			var pe *Error
+			var le *lexer.Error
+			switch {
+			case errors.As(err, &pe):
+				if pe.Line < 1 {
+					t.Fatalf("parser error with non-positive line: %v", pe)
+				}
+			case errors.As(err, &le):
+				if le.Line < 1 {
+					t.Fatalf("lexer error with non-positive line: %v", le)
+				}
+			default:
+				t.Fatalf("parse error is neither *parser.Error nor *lexer.Error: %T %v", err, err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}

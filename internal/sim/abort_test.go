@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"phpf/internal/core"
+)
+
+// abortSrc has a shift-class communication vectorized out of the i-loop, so
+// the first charge of a run is an aggregated transfer at loop entry.
+const abortSrc = `
+program t
+parameter n = 256
+real a(n), b(n)
+integer i, iter
+!hpf$ align b(i) with a(i)
+!hpf$ distribute (block) :: a
+do iter = 1, 50
+  do i = 2, n
+    a(i) = b(i-1) + 1.0
+  end do
+  do i = 1, n
+    b(i) = a(i) * 0.5
+  end do
+end do
+end
+`
+
+// TestAbortedFlagReporting: Result.Aborted is false on completed runs, true
+// on cut-off runs, and the reported time exceeds the limit it tripped.
+func TestAbortedFlagReporting(t *testing.T) {
+	opts := core.DefaultOptions()
+	full := runErr(t, abortSrc, 8, opts, Config{})
+	if full.Aborted {
+		t.Fatal("unlimited run reported aborted")
+	}
+	limit := full.Time / 4
+	cut := runErr(t, abortSrc, 8, opts, Config{MaxSeconds: limit})
+	if !cut.Aborted {
+		t.Fatalf("run past %v not aborted", limit)
+	}
+	if cut.Time <= limit {
+		t.Errorf("aborted time %v should exceed the limit %v it tripped", cut.Time, limit)
+	}
+	if cut.Time >= full.Time {
+		t.Errorf("aborted run should stop early: %v vs full %v", cut.Time, full.Time)
+	}
+}
+
+// TestAbortMidVectorizedComm: a limit small enough to trip on the very first
+// aggregated transfer aborts from inside the vectorized-communication path —
+// the communication is already charged (visible in Stats) but no statement
+// of the loop body has executed.
+func TestAbortMidVectorizedComm(t *testing.T) {
+	opts := core.DefaultOptions()
+	out := runErr(t, abortSrc, 8, opts, Config{MaxSeconds: 1e-12})
+	if !out.Aborted {
+		t.Fatal("expected abort at the first vectorized communication")
+	}
+	if out.Stats.Messages == 0 {
+		t.Error("the aborting vectorized transfer should be counted in Stats")
+	}
+	// The b(i-1) shift is hoisted to the iter-loop entry; aborting there
+	// means the first assignment never ran.
+	for _, x := range out.Arrays["a"] {
+		if x != 0 {
+			t.Fatal("loop body executed despite mid-communication abort")
+		}
+	}
+}
+
+// TestAbortDisabledByZero: MaxSeconds 0 never aborts.
+func TestAbortDisabledByZero(t *testing.T) {
+	out := runErr(t, abortSrc, 8, core.DefaultOptions(), Config{MaxSeconds: 0})
+	if out.Aborted {
+		t.Error("MaxSeconds=0 must disable the cutoff")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"phpf/internal/comm"
 	"phpf/internal/core"
 	"phpf/internal/dist"
+	"phpf/internal/fault"
 	"phpf/internal/ir"
 	"phpf/internal/machine"
 	"phpf/internal/spmd"
@@ -31,6 +32,18 @@ type Config struct {
 	// Profile collects per-statement simulated-time attribution (compute
 	// and communication charged while executing each statement).
 	Profile bool
+	// Fault, when non-nil and active, injects message loss/duplication,
+	// compute slowdowns, and fail-stop crashes (see internal/fault). A nil
+	// or inactive plan leaves the fault-free arithmetic bit-identical.
+	Fault *fault.Plan
+	// CheckpointInterval takes a coordinated checkpoint at
+	// hoisted-communication boundaries whenever at least this much
+	// simulated time has passed since the last one (0 = only the implicit
+	// free checkpoint at t=0). Crash recovery rolls back to the last
+	// checkpoint and re-executes the lost interval; the restarted
+	// processor refetches aligned and partitioned state, while replicated
+	// state restores locally.
+	CheckpointInterval float64
 }
 
 // StmtProfile is one statement's share of the simulated activity.
@@ -68,15 +81,39 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 	if cfg.Params == (machine.Params{}) {
 		cfg.Params = machine.SP2()
 	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	nprocs := p.Res.Mapping.Grid.Size()
+	if cfg.Fault.Active() {
+		for _, c := range cfg.Fault.Crashes {
+			if c.Proc >= nprocs {
+				return nil, fmt.Errorf("sim: crash of processor %d, but the machine has %d", c.Proc, nprocs)
+			}
+		}
+		for _, s := range cfg.Fault.Slowdowns {
+			if s.Proc >= nprocs {
+				return nil, fmt.Errorf("sim: slowdown of processor %d, but the machine has %d", s.Proc, nprocs)
+			}
+		}
+	}
+	if cfg.CheckpointInterval < 0 || math.IsNaN(cfg.CheckpointInterval) {
+		return nil, fmt.Errorf("sim: checkpoint interval must be >= 0, got %v", cfg.CheckpointInterval)
+	}
 	in := &interp{
 		prog:    p,
 		cfg:     cfg,
 		mach:    machine.New(p.Res.Mapping.Grid, cfg.Params),
+		inj:     fault.NewInjector(cfg.Fault),
 		scalars: map[*ir.Var]float64{},
 		arrays:  map[*ir.Var][]float64{},
 		indices: map[*ir.Var]int64{},
 		dyn:     map[*ir.Var]*dist.ArrayMap{},
 	}
+	in.mach.Fault = in.inj
 	if cfg.Profile {
 		in.profile = map[*ir.Stmt]*StmtProfile{}
 	}
@@ -140,6 +177,12 @@ type interp struct {
 	cfg  Config
 	mach *machine.Machine
 
+	// inj draws fault decisions (nil on fault-free runs); lastCkpt is the
+	// simulated time of the last coordinated checkpoint (the implicit free
+	// one at t=0 until a real one is taken).
+	inj      *fault.Injector
+	lastCkpt float64
+
 	scalars map[*ir.Var]float64
 	arrays  map[*ir.Var][]float64
 	indices map[*ir.Var]int64
@@ -184,10 +227,115 @@ func (in *interp) attribute(st *ir.Stmt, fn func() error) error {
 func (in *interp) grid() *dist.Grid { return in.prog.Res.Mapping.Grid }
 
 func (in *interp) checkTime() error {
+	if in.inj != nil {
+		// Fire any fail-stop crashes whose time has been reached. Recovery
+		// advances the clocks, which may bring the next scheduled crash
+		// due, so drain until quiescent (each crash fires exactly once).
+		for {
+			c := in.inj.PendingCrash(in.mach.Time())
+			if c == nil {
+				break
+			}
+			in.recoverCrash(c)
+		}
+	}
 	if in.cfg.MaxSeconds > 0 && in.mach.Time() > in.cfg.MaxSeconds {
 		return errAbort{}
 	}
 	return nil
+}
+
+// maybeCheckpoint takes a coordinated checkpoint at a hoisted-communication
+// boundary when the configured interval has elapsed. Checkpoint state is
+// each processor's partition of the distributed arrays plus its private
+// scalar copies, written to stable storage at link speed.
+func (in *interp) maybeCheckpoint() {
+	if in.cfg.CheckpointInterval <= 0 {
+		return
+	}
+	now := in.mach.Time()
+	if now-in.lastCkpt < in.cfg.CheckpointInterval {
+		return
+	}
+	in.mach.Checkpoint(in.checkpointBytes())
+	in.lastCkpt = in.mach.Time()
+}
+
+// checkpointBytes returns each processor's live state size: its partition of
+// every (dynamically mapped) array plus one element per scalar variable.
+func (in *interp) checkpointBytes() []int64 {
+	g := in.grid()
+	eb := int64(in.cfg.Params.ElemBytes)
+	out := make([]int64, g.Size())
+	var scalarBytes int64
+	for _, v := range in.prog.Res.Prog.VarList {
+		if v.IsArray() || v.IsLoopIndex {
+			continue
+		}
+		scalarBytes += eb
+	}
+	for p := range out {
+		coords := g.Coords(p)
+		b := scalarBytes
+		for _, am := range in.dyn {
+			if am == nil {
+				continue
+			}
+			b += am.LocalElems(g, coords) * eb
+		}
+		out[p] = b
+	}
+	return out
+}
+
+// recoverCrash restores a fail-stop processor from the last coordinated
+// checkpoint. Every processor rolls back and re-executes the lost interval;
+// the restarted processor additionally refetches the state its mapping does
+// not replicate: its partitions of distributed arrays and the live copies of
+// aligned privatized scalars. Replicated copies — the paper's replication
+// mapping — restore locally at zero communication cost, which is the
+// robustness dividend of that mapping choice.
+func (in *interp) recoverCrash(c *fault.Crash) {
+	now := in.mach.Time()
+	lost := now - in.lastCkpt
+	if lost < 0 {
+		lost = 0
+	}
+	bytes, msgs := in.refetchCost(c.Proc)
+	in.mach.Recover(c.Proc, lost, bytes, msgs)
+	// Recovery reestablishes a consistent global state.
+	in.lastCkpt = in.mach.Time()
+}
+
+// refetchCost sizes the recovery communication for a restarted processor:
+// non-replicated array partitions under the current dynamic mapping, plus
+// one element per scalar variable classified RecoverRefetch by the SPMD
+// plan (aligned and reduction-mapped privatized scalars).
+func (in *interp) refetchCost(p int) (bytes, msgs int64) {
+	g := in.grid()
+	coords := g.Coords(p)
+	eb := int64(in.cfg.Params.ElemBytes)
+	for _, v := range in.prog.Res.Prog.VarList {
+		if !v.IsArray() {
+			continue
+		}
+		am := in.dyn[v]
+		if am == nil || am.FullyReplicated() {
+			continue // replicated: every survivor holds a copy
+		}
+		if n := am.LocalElems(g, coords); n > 0 {
+			bytes += n * eb
+			msgs++
+		}
+	}
+	for v, cls := range in.prog.Recovery {
+		if v.IsArray() || cls != spmd.RecoverRefetch {
+			continue
+		}
+		bytes += eb
+		msgs++
+	}
+	return bytes, msgs
 }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +407,12 @@ func (in *interp) execLoop(l *ir.Loop) (control, error) {
 	// performed at loop entry.
 	lp := in.prog.Loops[l]
 	if lp != nil {
+		// A hoisted-communication boundary is a natural coordination point:
+		// no aggregated transfer is in flight, so a consistent checkpoint
+		// needs no message draining.
+		if len(lp.Hoisted) > 0 || l.Parent == nil {
+			in.maybeCheckpoint()
+		}
 		// The loop index ranges over the whole iteration space for the
 		// purpose of the aggregated transfer; set it to lo so affine
 		// evaluation has a defined base.

@@ -77,12 +77,38 @@ type LoopPlan struct {
 	Combines []*core.ScalarMapping
 }
 
+// RecoveryClass describes how a variable's live state is restored on a
+// processor after a fail-stop failure: replicated values restore locally
+// (every survivor holds a copy, and the restarted processor recomputes or
+// re-reads them for free), while aligned or distributed values must be
+// refetched from the checkpoint store — the mapping-dependent recovery cost
+// the paper's cost model can quantify.
+type RecoveryClass int
+
+const (
+	// RecoverLocal: replicated state, restored without communication.
+	RecoverLocal RecoveryClass = iota
+	// RecoverRefetch: partitioned or aligned state, refetched over the
+	// network during recovery.
+	RecoverRefetch
+)
+
+func (c RecoveryClass) String() string {
+	if c == RecoverRefetch {
+		return "refetch"
+	}
+	return "local"
+}
+
 // Program is the complete SPMD program.
 type Program struct {
 	Res   *core.Result
 	Plan  *comm.Plan
 	Stmts map[*ir.Stmt]*StmtPlan
 	Loops map[*ir.Loop]*LoopPlan
+	// Recovery classifies every variable's post-crash restoration cost
+	// under the chosen mapping (see RecoveryClass).
+	Recovery map[*ir.Var]RecoveryClass
 }
 
 // Generate builds the SPMD program for a mapping result.
@@ -120,7 +146,38 @@ func Generate(res *core.Result) *Program {
 			return lp.Combines[i].Def.ID < lp.Combines[j].Def.ID
 		})
 	}
+	p.Recovery = recoveryClasses(res)
 	return p
+}
+
+// recoveryClasses classifies each variable's crash-recovery cost: arrays by
+// their (static) mapping, scalars by their per-definition mapping decisions
+// — a scalar with any aligned or reduction-mapped definition has a uniquely
+// owned live copy that must be refetched, while replicated and
+// privatized-without-alignment scalars restore locally.
+func recoveryClasses(res *core.Result) map[*ir.Var]RecoveryClass {
+	out := map[*ir.Var]RecoveryClass{}
+	for _, v := range res.Prog.VarList {
+		if v.IsLoopIndex {
+			continue
+		}
+		if v.IsArray() {
+			am := res.Mapping.Arrays[v]
+			if am != nil && !am.FullyReplicated() {
+				out[v] = RecoverRefetch
+			} else {
+				out[v] = RecoverLocal
+			}
+			continue
+		}
+		out[v] = RecoverLocal
+	}
+	for _, m := range res.Scalars {
+		if m.Kind == core.ScalarAligned || m.Kind == core.ScalarReduction {
+			out[m.Def.Var] = RecoverRefetch
+		}
+	}
+	return out
 }
 
 func (p *Program) planStmt(st *ir.Stmt) *StmtPlan {

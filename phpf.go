@@ -21,6 +21,7 @@ import (
 
 	"phpf/internal/core"
 	"phpf/internal/dist"
+	"phpf/internal/fault"
 	"phpf/internal/ir"
 	"phpf/internal/machine"
 	"phpf/internal/parser"
@@ -40,7 +41,24 @@ type (
 	MachineParams = machine.Params
 	// Stats aggregates simulated communication activity.
 	Stats = machine.Stats
+	// Diagnostic is a non-fatal analysis problem the compiler degraded
+	// around (see core.Diagnostic).
+	Diagnostic = core.Diagnostic
+	// FaultPlan is a deterministic fault-injection schedule (see
+	// fault.Plan).
+	FaultPlan = fault.Plan
+	// Crash is a fail-stop processor crash at a simulated time.
+	Crash = fault.Crash
+	// Slowdown is a transient per-processor compute slowdown.
+	Slowdown = fault.Slowdown
 )
+
+// ParseCrashes parses a CLI crash list "proc@time,proc@time".
+func ParseCrashes(s string) ([]Crash, error) { return fault.ParseCrashes(s) }
+
+// ParseSlowdowns parses a CLI slowdown list
+// "proc:factor[:start[:duration]],...".
+func ParseSlowdowns(s string) ([]Slowdown, error) { return fault.ParseSlowdowns(s) }
 
 // Scalar strategies (Table 1 columns).
 const (
@@ -112,6 +130,14 @@ type RunConfig struct {
 	MaxSeconds float64
 	// Profile collects per-statement time attribution (RunResult.Profile).
 	Profile bool
+	// Fault, when non-nil and active, injects deterministic faults
+	// (message loss/duplication, slowdowns, crashes). Nil or inactive plans
+	// reproduce the fault-free run exactly.
+	Fault *FaultPlan
+	// CheckpointInterval enables coordinated checkpointing every so many
+	// simulated seconds, at hoisted-communication boundaries (0 = off; a
+	// crash then recovers from time 0).
+	CheckpointInterval float64
 }
 
 // RunResult is the outcome of a simulated execution.
@@ -120,11 +146,17 @@ type RunResult = sim.Result
 // Run executes the compiled program on the simulated machine.
 func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
 	return sim.Run(c.SPMD, sim.Config{
-		Params:     cfg.Params,
-		MaxSeconds: cfg.MaxSeconds,
-		Profile:    cfg.Profile,
+		Params:             cfg.Params,
+		MaxSeconds:         cfg.MaxSeconds,
+		Profile:            cfg.Profile,
+		Fault:              cfg.Fault,
+		CheckpointInterval: cfg.CheckpointInterval,
 	})
 }
+
+// Diags returns the non-fatal problems the analyses degraded around
+// (skipped directives, alignment fallbacks), with source positions.
+func (c *Compiled) Diags() []Diagnostic { return c.Result.Diags }
 
 // FormatProfile renders a profile as a hot-statement table (top n entries).
 func FormatProfile(prof []sim.StmtProfile, n int) string {

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: build, vet, and race-detected tests. Mirrors `make check`
+# for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
+echo "check: OK"

@@ -23,12 +23,12 @@ func (c Cell) String() string {
 }
 
 // runCell compiles and simulates one configuration.
-func runCell(source string, nprocs int, opts Options, maxSeconds float64) (Cell, error) {
+func runCell(source string, nprocs int, opts Options, cfg RunConfig) (Cell, error) {
 	c, err := Compile(source, nprocs, opts)
 	if err != nil {
 		return Cell{}, err
 	}
-	out, err := c.Run(RunConfig{MaxSeconds: maxSeconds})
+	out, err := c.Run(cfg)
 	if err != nil {
 		return Cell{}, err
 	}
@@ -41,6 +41,9 @@ type cellJob struct {
 	nprocs int
 	opts   Options
 	dst    *Cell
+	// cfg, when non-nil, overrides the default run configuration built
+	// from maxSeconds (fault sweeps set it).
+	cfg *RunConfig
 }
 
 // runCells fills all cells concurrently — every cell is an independent
@@ -54,7 +57,11 @@ func runCells(jobs []cellJob, maxSeconds float64) error {
 		wg.Add(1)
 		go func(j cellJob) {
 			defer wg.Done()
-			cell, err := runCell(j.source, j.nprocs, j.opts, maxSeconds)
+			cfg := RunConfig{MaxSeconds: maxSeconds}
+			if j.cfg != nil {
+				cfg = *j.cfg
+			}
+			cell, err := runCell(j.source, j.nprocs, j.opts, cfg)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -91,9 +98,9 @@ func Table1TOMCATV(n, niter int, procs []int, maxSeconds float64) ([]Table1Row, 
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src, p, NaiveOptions(), &rows[i].Replication},
-			cellJob{src, p, ProducerOptions(), &rows[i].Producer},
-			cellJob{src, p, SelectedOptions(), &rows[i].Selected})
+			cellJob{src, p, NaiveOptions(), &rows[i].Replication, nil},
+			cellJob{src, p, ProducerOptions(), &rows[i].Producer, nil},
+			cellJob{src, p, SelectedOptions(), &rows[i].Selected, nil})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -133,8 +140,8 @@ func Table2DGEFA(n int, procs []int, maxSeconds float64) ([]Table2Row, error) {
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src, p, defOpts, &rows[i].Default},
-			cellJob{src, p, SelectedOptions(), &rows[i].Aligned})
+			cellJob{src, p, defOpts, &rows[i].Default, nil},
+			cellJob{src, p, SelectedOptions(), &rows[i].Aligned, nil})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -180,15 +187,80 @@ func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64) ([]Tabl
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src1, p, noPriv, &rows[i].OneDNoPriv},
-			cellJob{src1, p, SelectedOptions(), &rows[i].OneDPriv},
-			cellJob{src2, p, noPartial, &rows[i].TwoDNoPartial},
-			cellJob{src2, p, SelectedOptions(), &rows[i].TwoDPartial})
+			cellJob{src1, p, noPriv, &rows[i].OneDNoPriv, nil},
+			cellJob{src1, p, SelectedOptions(), &rows[i].OneDPriv, nil},
+			cellJob{src2, p, noPartial, &rows[i].TwoDNoPartial, nil},
+			cellJob{src2, p, SelectedOptions(), &rows[i].TwoDPartial, nil})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fault sweep — execution time and retransmissions under message loss.
+
+// FaultSweepRow is one strategy's measurements across the loss rates.
+type FaultSweepRow struct {
+	Strategy string
+	Cells    []Cell // one per loss rate, in the sweep's order
+}
+
+// FaultSweep measures one program under the three scalar-mapping strategies
+// (replication / producer alignment / selected alignment) across a set of
+// message-loss rates, all driven by the same deterministic seed. The zero
+// rate reproduces the fault-free run exactly.
+func FaultSweep(source string, nprocs int, lossRates []float64, seed int64, maxSeconds float64) ([]FaultSweepRow, error) {
+	strategies := []struct {
+		name string
+		opts Options
+	}{
+		{"replication", NaiveOptions()},
+		{"producer", ProducerOptions()},
+		{"selected", SelectedOptions()},
+	}
+	rows := make([]FaultSweepRow, len(strategies))
+	var jobs []cellJob
+	for i, s := range strategies {
+		rows[i].Strategy = s.name
+		rows[i].Cells = make([]Cell, len(lossRates))
+		for k, rate := range lossRates {
+			cfg := &RunConfig{MaxSeconds: maxSeconds}
+			if rate > 0 {
+				cfg.Fault = &FaultPlan{Seed: seed, LossRate: rate}
+			}
+			jobs = append(jobs, cellJob{source, nprocs, s.opts, &rows[i].Cells[k], cfg})
+		}
+	}
+	if err := runCells(jobs, maxSeconds); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatFaultSweep renders a fault sweep: strategies down, loss rates across,
+// each cell showing time and retransmission count.
+func FormatFaultSweep(title string, lossRates []float64, rows []FaultSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — execution time (s) / retransmits under message loss\n", title)
+	fmt.Fprintf(&b, "%-12s", "strategy")
+	for _, r := range lossRates {
+		fmt.Fprintf(&b, " %16s", fmt.Sprintf("loss=%g", r))
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s", row.Strategy)
+		for _, c := range row.Cells {
+			cell := fmt.Sprintf("%.4f/%d", c.Seconds, c.Stats.Retransmits)
+			if c.Aborted {
+				cell = "aborted"
+			}
+			fmt.Fprintf(&b, " %16s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // FormatTable3 renders rows like the paper's Table 3.
