@@ -9,9 +9,11 @@
 //	phpfbench -table 1        # one table
 //	phpfbench -large          # closer to the paper's sizes (slower)
 //	phpfbench -faults         # loss-rate sweep over the three benchmarks
+//	phpfbench -diff           # differential oracle: concurrent vs simulator
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	maxSec := flag.Float64("max", 100, "per-run simulated-time abort threshold in seconds (the paper's '1 day' scaled to our problem sizes; 0 = unlimited)")
 	faults := flag.Bool("faults", false, "run the fault sweep (loss rates x strategies x benchmarks) instead of the tables")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault sweep")
+	diff := flag.Bool("diff", false, "run the differential oracle (concurrent executor vs sequential simulator) instead of the tables")
 	flag.Parse()
 
 	procs := []int{1, 2, 4, 8, 16}
@@ -41,6 +44,37 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "phpfbench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *diff {
+		// Replicated concurrent execution costs roughly nprocs times the
+		// sequential simulator per run, so the oracle sweeps reduced sizes.
+		dTomN, dTomIter := 65, 2
+		dDgeN := 64
+		dApN, dApIter := 8, 1
+		if *large {
+			dTomN, dTomIter = tomN, tomIter
+			dDgeN = dgeN
+			dApN, dApIter = apN, apIter
+		}
+		progs := []phpf.DiffProgram{
+			{Name: fmt.Sprintf("TOMCATV(n=%d,niter=%d)", dTomN, dTomIter), Source: phpf.TOMCATVSource(dTomN, dTomIter)},
+			{Name: fmt.Sprintf("DGEFA(n=%d)", dDgeN), Source: phpf.DGEFASource(dDgeN)},
+			{Name: fmt.Sprintf("APPSP-1D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, false)},
+			{Name: fmt.Sprintf("APPSP-2D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, true)},
+		}
+		rows, err := phpf.DiffSweep(context.Background(), progs, []int{1, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatDiffSweep(rows))
+		for _, r := range rows {
+			if !r.Match() {
+				fmt.Fprintln(os.Stderr, "phpfbench: differential oracle found mismatches")
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *faults {

@@ -9,7 +9,13 @@
 //	phpfrun -dgefa -n 128 -p 8
 //	phpfrun -appsp -n 16 -iters 2 -2d -p 16
 //
-// Fault injection (deterministic for a fixed -fault-seed):
+// Concurrent backend (one goroutine per simulated processor, real message
+// passing, watchdog and panic containment; -deadline is wall-clock):
+//
+//	phpfrun -tomcatv -p 16 -exec concurrent
+//	phpfrun -dgefa -n 64 -p 8 -exec concurrent -workers 8 -deadline 30s -stall 5s
+//
+// Fault injection (deterministic for a fixed -fault-seed; simulator only):
 //
 //	phpfrun -dgefa -n 128 -p 8 -fault-seed 42 -loss-rate 0.01
 //	phpfrun -tomcatv -p 16 -crash 3@0.5 -checkpoint-interval 0.1
@@ -17,9 +23,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"phpf"
 )
@@ -35,6 +43,11 @@ func main() {
 	twoD := flag.Bool("2d", false, "APPSP: use the 2-D distribution")
 	n := flag.Int("n", 129, "built-in kernel size")
 	iters := flag.Int("iters", 5, "built-in kernel iterations")
+
+	backend := flag.String("exec", "sim", "execution backend: sim (sequential simulator) or concurrent (goroutine per processor)")
+	workers := flag.Int("workers", 0, "concurrent backend: worker count (0 = one per simulated processor)")
+	deadline := flag.Duration("deadline", 0, "concurrent backend: wall-clock deadline for the whole run (0 = none)")
+	stallTimeout := flag.Duration("stall", 0, "concurrent backend: watchdog stall timeout (0 = default, negative = disabled)")
 
 	faultSeed := flag.Int64("fault-seed", 0, "deterministic seed for fault draws (same seed = same schedule)")
 	lossRate := flag.Float64("loss-rate", 0, "per-message loss probability in [0,1)")
@@ -104,6 +117,39 @@ func main() {
 	for _, d := range c.Diags() {
 		fmt.Fprintf(os.Stderr, "phpfrun: warning: %s\n", d)
 	}
+
+	if *backend == "concurrent" {
+		if plan != nil || *ckptInterval > 0 {
+			fmt.Fprintln(os.Stderr, "phpfrun: fault injection and checkpointing are simulator-only (drop -exec concurrent)")
+			os.Exit(2)
+		}
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		start := time.Now()
+		out, err := c.RunConcurrent(ctx, phpf.ExecConfig{
+			Workers:      *workers,
+			StallTimeout: *stallTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("processors:     %d (%d workers)\n", *procs, out.Workers)
+		fmt.Printf("optimization:   %s\n", *level)
+		fmt.Printf("simulated time: %.6f s (wall %.3fs)\n", out.Time, time.Since(start).Seconds())
+		fmt.Printf("communication:  %v\n", out.Stats)
+		fmt.Printf("real traffic:   %d channel messages\n", out.TrafficMessages)
+		return
+	}
+	if *backend != "sim" {
+		fmt.Fprintf(os.Stderr, "phpfrun: unknown backend %q (want sim or concurrent)\n", *backend)
+		os.Exit(2)
+	}
+
 	out, err := c.Run(phpf.RunConfig{
 		MaxSeconds:         *maxSec,
 		Profile:            *profile,

@@ -11,30 +11,7 @@ import (
 	"phpf"
 )
 
-const source = `
-program smooth
-parameter n = 4096
-parameter niter = 20
-real u(n), v(n)
-real left, right
-integer i, it
-!hpf$ align v(i) with u(i)
-!hpf$ distribute (block) :: u
-do i = 1, n
-  u(i) = i * 0.001
-end do
-do it = 1, niter
-  do i = 2, n-1
-    left = u(i-1)
-    right = u(i+1)
-    v(i) = 0.25 * left + 0.5 * u(i) + 0.25 * right
-  end do
-  do i = 2, n-1
-    u(i) = v(i)
-  end do
-end do
-end
-`
+var source = phpf.SmoothSource(4096, 20)
 
 func main() {
 	for _, cfg := range []struct {

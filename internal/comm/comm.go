@@ -20,6 +20,10 @@ import (
 
 // Requirement is one reference's communication need.
 type Requirement struct {
+	// ID numbers the requirement within its plan (stable across runs of the
+	// same program); the concurrent executor tags every message with it so
+	// receivers can verify the traffic matches the plan.
+	ID   int
 	Use  *ir.Ref
 	Stmt *ir.Stmt
 
@@ -89,6 +93,7 @@ func Analyze(res *core.Result) *Plan {
 			if req == nil {
 				continue
 			}
+			req.ID = len(p.Reqs)
 			p.Reqs = append(p.Reqs, req)
 			if req.Vectorized() {
 				outer := req.Hoisted[len(req.Hoisted)-1]

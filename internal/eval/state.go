@@ -1,0 +1,532 @@
+// Package eval is the shared interpretation core of the two execution
+// backends: the sequential cost-model simulator (internal/sim) and the
+// concurrent SPMD executor (internal/exec). Both walk the same spmd.Program
+// through the same value semantics, execution-set evaluation, and
+// communication decisions defined here, so that their numeric results are
+// bit-for-bit identical by construction and any divergence is a real bug in
+// one of the backends — the property the differential oracle (exec.Differ)
+// checks.
+//
+// The core is deliberately free of cost accounting: backends observe the
+// walk through the Backend interface (see walk.go) and charge their own
+// machine models or perform real message passing at the decision points.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"phpf/internal/ast"
+	"phpf/internal/core"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/spmd"
+)
+
+// maxExactInt bounds every integer value the interpreter manipulates (loop
+// bounds, subscripts, trip counts) to the contiguously representable float64
+// range, 2^53. Values beyond it would silently lose integer precision in the
+// float-backed evaluator and can drive int64 arithmetic to wrap on
+// adversarial (fuzz-reachable) loop bounds; they are rejected with a
+// diagnostic instead.
+const maxExactInt = int64(1) << 53
+
+// maxArrayElems caps a single array's element count. Larger declarations are
+// almost certainly adversarial inputs (the benchmarks top out around 10^6
+// elements) and would otherwise OOM or overflow offset arithmetic.
+const maxArrayElems = int64(1) << 31
+
+// NumericError reports an integer value or computation that left the exactly
+// representable range — the structured diagnostic the overflow guards
+// return instead of wrapping.
+type NumericError struct {
+	Line int     // source line when known (0 otherwise)
+	What string  // which quantity overflowed
+	Val  float64 // the offending value when meaningful
+}
+
+func (e *NumericError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s out of range (%v exceeds 2^53)", e.Line, e.What, e.Val)
+	}
+	return fmt.Sprintf("%s out of range (%v exceeds 2^53)", e.What, e.Val)
+}
+
+// State is one interpretation context: the full memory image plus the
+// dynamic (possibly redistributed) array mappings. The sequential simulator
+// holds one State; the concurrent executor holds one per worker — replicated
+// execution keeps every image identical, which is what makes the SPMD
+// programs under the paper's mappings semantically interchangeable.
+type State struct {
+	Prog *spmd.Program
+
+	Scalars map[*ir.Var]float64
+	Arrays  map[*ir.Var][]float64
+	Indices map[*ir.Var]int64
+	// Dyn holds the current (possibly redistributed) mapping per array.
+	Dyn map[*ir.Var]*dist.ArrayMap
+
+	// unionCache memoizes the per-iteration union execution set.
+	unionCache map[*ir.Loop]dist.ProcSet
+	unionEpoch map[*ir.Loop]int64
+	epoch      int64
+}
+
+// NewState allocates a fresh memory image for the program. Array shapes are
+// validated against maxArrayElems so adversarial declarations fail with a
+// diagnostic instead of exhausting memory or wrapping offset arithmetic.
+func NewState(p *spmd.Program) (*State, error) {
+	if p == nil || p.Res == nil || p.Res.Prog == nil {
+		return nil, fmt.Errorf("eval: nil program")
+	}
+	s := &State{
+		Prog:    p,
+		Scalars: map[*ir.Var]float64{},
+		Arrays:  map[*ir.Var][]float64{},
+		Indices: map[*ir.Var]int64{},
+		Dyn:     map[*ir.Var]*dist.ArrayMap{},
+	}
+	for _, v := range p.Res.Prog.VarList {
+		if !v.IsArray() {
+			continue
+		}
+		size := int64(1)
+		for _, d := range v.Dims {
+			var ok bool
+			size, ok = mulChecked(size, d)
+			if !ok || size > maxArrayElems {
+				return nil, fmt.Errorf("eval: array %s too large (> %d elements)", v.Name, maxArrayElems)
+			}
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("eval: array %s has negative size", v.Name)
+		}
+		s.Arrays[v] = make([]float64, size)
+		s.Dyn[v] = p.Res.Mapping.Arrays[v]
+	}
+	return s, nil
+}
+
+// Grid returns the processor grid the program is mapped onto.
+func (s *State) Grid() *dist.Grid { return s.Prog.Res.Mapping.Grid }
+
+// mulChecked multiplies two non-negative int64s, reporting overflow.
+func mulChecked(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	c := a * b
+	if c/b != a || c < 0 {
+		return 0, false
+	}
+	return c, true
+}
+
+// addChecked adds two int64s, reporting overflow.
+func addChecked(a, b int64) (int64, bool) {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		return 0, false
+	}
+	return c, true
+}
+
+// ---------------------------------------------------------------------------
+// Value semantics
+
+// Store assigns val through a definition reference.
+func (s *State) Store(ref *ir.Ref, val float64) error {
+	v := ref.Var
+	if !v.IsArray() {
+		if v.Type == ast.Integer {
+			val = math.Round(val)
+		}
+		s.Scalars[v] = val
+		return nil
+	}
+	off, err := s.ArrayOffset(ref)
+	if err != nil {
+		return err
+	}
+	s.Arrays[v][off] = val
+	return nil
+}
+
+// ArrayOffset computes the linear (row-major, 1-based) offset of an array
+// reference, rejecting out-of-bounds subscripts and guarding the offset
+// arithmetic against int64 wrap on adversarial shapes.
+func (s *State) ArrayOffset(ref *ir.Ref) (int64, error) {
+	v := ref.Var
+	off := int64(0)
+	stride := int64(1)
+	for k := 0; k < v.Rank(); k++ {
+		x, err := s.EvalInt(ref.Ast.Subs[k])
+		if err != nil {
+			return 0, err
+		}
+		if x < 1 || x > v.Dims[k] {
+			return 0, fmt.Errorf("line %d: %s subscript %d out of bounds: %d (extent %d)",
+				ref.Stmt.Line, v.Name, k+1, x, v.Dims[k])
+		}
+		term, ok := mulChecked(x-1, stride)
+		if !ok {
+			return 0, &NumericError{Line: ref.Stmt.Line, What: v.Name + " offset", Val: float64(x)}
+		}
+		if off, ok = addChecked(off, term); !ok {
+			return 0, &NumericError{Line: ref.Stmt.Line, What: v.Name + " offset", Val: float64(x)}
+		}
+		if stride, ok = mulChecked(stride, v.Dims[k]); !ok {
+			return 0, &NumericError{Line: ref.Stmt.Line, What: v.Name + " stride", Val: float64(v.Dims[k])}
+		}
+	}
+	return off, nil
+}
+
+// EvalInt evaluates an expression as an integer, rejecting values outside
+// the exactly representable range instead of wrapping through the float
+// conversion.
+func (s *State) EvalInt(e ast.Expr) (int64, error) {
+	x, err := s.Eval(e)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(x) || x > float64(maxExactInt) || x < -float64(maxExactInt) {
+		return 0, &NumericError{What: "integer value", Val: x}
+	}
+	return int64(math.Round(x)), nil
+}
+
+// EvalAffine evaluates an affine form (falling back to the expression for
+// non-affine subscripts).
+func (s *State) EvalAffine(a ir.Affine) (int64, error) {
+	if a.OK {
+		x := a.Const
+		for _, t := range a.Terms {
+			x += t.Coef * s.Indices[t.Loop.Index]
+		}
+		return x, nil
+	}
+	if a.Expr == nil {
+		return 0, fmt.Errorf("undefined pattern position")
+	}
+	return s.EvalInt(a.Expr)
+}
+
+// TripCount evaluates a loop's trip count at the current indices. Bounds are
+// range-checked by EvalInt, so the (hi-lo)/step+1 arithmetic cannot wrap.
+func (s *State) TripCount(l *ir.Loop) (int64, error) {
+	lo, err := s.EvalInt(l.Lo)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := s.EvalInt(l.Hi)
+	if err != nil {
+		return 0, err
+	}
+	step := int64(1)
+	if l.Step != nil {
+		step, err = s.EvalInt(l.Step)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if step == 0 {
+		return 0, fmt.Errorf("zero step in %s-loop at line %d", l.Index.Name, l.Line)
+	}
+	n := (hi-lo)/step + 1
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// Eval evaluates an expression over the current memory image.
+func (s *State) Eval(e ast.Expr) (float64, error) {
+	switch x := e.(type) {
+	case *ast.IntConst:
+		return float64(x.Value), nil
+	case *ast.RealConst:
+		return x.Value, nil
+	case *ast.Ref:
+		v := s.Prog.Res.Prog.LookupVar(x.Name)
+		if v == nil {
+			return 0, fmt.Errorf("unknown variable %s", x.Name)
+		}
+		if v.IsLoopIndex {
+			return float64(s.Indices[v]), nil
+		}
+		if !v.IsArray() {
+			return s.Scalars[v], nil
+		}
+		off := int64(0)
+		stride := int64(1)
+		for k := 0; k < v.Rank(); k++ {
+			sub, err := s.EvalInt(x.Subs[k])
+			if err != nil {
+				return 0, err
+			}
+			if sub < 1 || sub > v.Dims[k] {
+				return 0, fmt.Errorf("%s subscript %d out of bounds: %d (extent %d)",
+					v.Name, k+1, sub, v.Dims[k])
+			}
+			off += (sub - 1) * stride
+			stride *= v.Dims[k]
+		}
+		return s.Arrays[v][off], nil
+	case *ast.UnaryMinus:
+		r, err := s.Eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		return -r, nil
+	case *ast.Not:
+		r, err := s.Eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *ast.BinOp:
+		l, err := s.Eval(x.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.Eval(x.R)
+		if err != nil {
+			return 0, err
+		}
+		return evalBin(x.Op, l, r)
+	case *ast.Call:
+		args := make([]float64, len(x.Args))
+		for k, aexp := range x.Args {
+			v, err := s.Eval(aexp)
+			if err != nil {
+				return 0, err
+			}
+			args[k] = v
+		}
+		return evalCall(x.Name, args)
+	}
+	return 0, fmt.Errorf("unsupported expression %T", e)
+}
+
+func evalBin(op ast.Op, l, r float64) (float64, error) {
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ast.Add:
+		return l + r, nil
+	case ast.Sub:
+		return l - r, nil
+	case ast.Mul:
+		return l * r, nil
+	case ast.Div:
+		return l / r, nil
+	case ast.OpEq:
+		return b2f(l == r), nil
+	case ast.OpNe:
+		return b2f(l != r), nil
+	case ast.OpLt:
+		return b2f(l < r), nil
+	case ast.OpLe:
+		return b2f(l <= r), nil
+	case ast.OpGt:
+		return b2f(l > r), nil
+	case ast.OpGe:
+		return b2f(l >= r), nil
+	case ast.OpAnd:
+		return b2f(l != 0 && r != 0), nil
+	case ast.OpOr:
+		return b2f(l != 0 || r != 0), nil
+	}
+	return 0, fmt.Errorf("bad operator")
+}
+
+func evalCall(name string, args []float64) (float64, error) {
+	switch name {
+	case "abs":
+		return math.Abs(args[0]), nil
+	case "sqrt":
+		return math.Sqrt(args[0]), nil
+	case "exp":
+		return math.Exp(args[0]), nil
+	case "max":
+		best := args[0]
+		for _, a := range args[1:] {
+			if a > best {
+				best = a
+			}
+		}
+		return best, nil
+	case "min":
+		best := args[0]
+		for _, a := range args[1:] {
+			if a < best {
+				best = a
+			}
+		}
+		return best, nil
+	case "mod":
+		return math.Mod(args[0], args[1]), nil
+	}
+	return 0, fmt.Errorf("unknown intrinsic %s", name)
+}
+
+// ---------------------------------------------------------------------------
+// Execution sets
+
+// ExecSet evaluates a statement's execution set at the current indices.
+func (s *State) ExecSet(sp *spmd.StmtPlan) (dist.ProcSet, error) {
+	g := s.Grid()
+	switch sp.Kind {
+	case spmd.ExecAll:
+		return dist.AllProcs(g), nil
+	case spmd.ExecOwner:
+		return s.OwnerSet(sp.OwnerRef)
+	case spmd.ExecPattern:
+		return s.PatternSet(sp.Scalar.Pattern, nil), nil
+	case spmd.ExecUnion:
+		return s.UnionSet(sp.Stmt.Loop), nil
+	}
+	return dist.AllProcs(g), nil
+}
+
+// OwnerSet evaluates the owners of an array reference under the dynamic
+// distribution (plus privatization overrides).
+func (s *State) OwnerSet(ref *ir.Ref) (dist.ProcSet, error) {
+	g := s.Grid()
+	v := ref.Var
+	idx := make([]int64, len(ref.Ast.Subs))
+	for k, e := range ref.Ast.Subs {
+		x, err := s.EvalInt(e)
+		if err != nil {
+			return dist.ProcSet{}, err
+		}
+		idx[k] = x
+	}
+	if ap := s.Prog.Res.Arrays[v]; ap != nil && ir.Encloses(ap.Loop, ref.Stmt.Loop) {
+		return s.privOwnerSet(ap, idx)
+	}
+	am := s.Dyn[v]
+	if am == nil {
+		return dist.AllProcs(g), nil
+	}
+	return am.Owner(g, idx), nil
+}
+
+// privOwnerSet computes the owner of a privatized array element: privatized
+// grid dims follow the target reference's owner now; partitioned dims from
+// the privatization axes.
+func (s *State) privOwnerSet(ap *core.ArrayPrivatization, idx []int64) (dist.ProcSet, error) {
+	g := s.Grid()
+	set := dist.AllProcs(g)
+	tgt, err := s.OwnerSet(ap.Target)
+	if err != nil {
+		return dist.ProcSet{}, err
+	}
+	for d := 0; d < g.Rank(); d++ {
+		if ap.PrivGrid[d] {
+			if c, ok := tgt.Fixed(d); ok {
+				set = set.WithDim(d, c)
+			}
+		}
+	}
+	for dim, ax := range ap.Axes {
+		if ax.Distributed {
+			set = set.WithDim(ax.GridDim, ax.OwnerDim(idx[dim], g.Shape[ax.GridDim]))
+		}
+	}
+	return set, nil
+}
+
+// PatternSet evaluates an owner pattern at the current indices. widen, when
+// non-nil, lists loops whose indices range over a whole aggregated transfer:
+// dimensions varying in them span all coordinates.
+func (s *State) PatternSet(pat dist.OwnerPattern, widen []*ir.Loop) dist.ProcSet {
+	g := s.Grid()
+	set := dist.AllProcs(g)
+	for d := range pat.Dims {
+		dp := pat.Dims[d]
+		if dp.Repl {
+			continue
+		}
+		wide := false
+		for _, l := range widen {
+			if dp.Sub.VariesIn(l) {
+				wide = true
+				break
+			}
+		}
+		if wide {
+			continue
+		}
+		pos, err := s.EvalAffine(dp.Sub)
+		if err != nil {
+			continue // undefined position: leave the dimension wide
+		}
+		ax := dist.AxisMap{Distributed: true, GridDim: d, Kind: dp.Kind,
+			Offset: dp.Offset, Extent: dp.Extent, Block: dp.Block}
+		set = set.WithDim(d, ax.OwnerDim(pos, g.Shape[d]))
+	}
+	return set
+}
+
+// UnionSet computes (and memoizes per iteration) the union of the execution
+// sets of the loop body's owner-driven statements.
+func (s *State) UnionSet(l *ir.Loop) dist.ProcSet {
+	g := s.Grid()
+	if l == nil {
+		return dist.AllProcs(g)
+	}
+	if s.unionCache == nil {
+		s.unionCache = map[*ir.Loop]dist.ProcSet{}
+		s.unionEpoch = map[*ir.Loop]int64{}
+	}
+	if e, ok := s.unionEpoch[l]; ok && e == s.epoch {
+		return s.unionCache[l]
+	}
+	inner := map[*ir.Loop]bool{}
+	for _, ll := range s.Prog.Res.Prog.Loops {
+		if ll != l && ir.Encloses(l, ll) {
+			inner[ll] = true
+		}
+	}
+	var innerList []*ir.Loop
+	for ll := range inner {
+		innerList = append(innerList, ll)
+	}
+	have := false
+	var u dist.ProcSet
+	for _, st := range s.Prog.Res.Prog.Stmts {
+		if st.Kind != ir.SAssign || !ir.Encloses(l, st.Loop) {
+			continue
+		}
+		sp := s.Prog.Stmts[st]
+		var set dist.ProcSet
+		switch sp.Kind {
+		case spmd.ExecOwner:
+			set = s.PatternSet(s.Prog.Res.RefPattern(sp.OwnerRef), innerList)
+		case spmd.ExecPattern:
+			set = s.PatternSet(sp.Scalar.Pattern, innerList)
+		default:
+			continue
+		}
+		if !have {
+			u, have = set, true
+		} else {
+			u = u.Union(set)
+		}
+	}
+	if !have {
+		u = dist.AllProcs(g)
+	}
+	s.unionCache[l] = u
+	s.unionEpoch[l] = s.epoch
+	return u
+}

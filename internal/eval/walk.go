@@ -1,0 +1,227 @@
+// The program walker: structured control flow (loops, block IFs, gotos) and
+// value semantics, identical for every backend. Backends observe the walk at
+// the points where cost is charged or messages flow.
+package eval
+
+import (
+	"fmt"
+
+	"phpf/internal/ir"
+	"phpf/internal/spmd"
+)
+
+// Backend receives the walk's execution events. The walker has already
+// updated the State when an event fires except where noted; backends charge
+// their cost model or perform real communication, and may abort the walk by
+// returning an error.
+type Backend interface {
+	// LoopEntry fires once per entry of a loop, after the bounds statement
+	// and with the loop index set to the lower bound (so affine evaluation
+	// of the hoisted communications has a defined base), before any
+	// iteration runs.
+	LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error
+	// LoopExit fires after the last iteration (global reduction combines
+	// run here). It fires even when the loop had zero iterations.
+	LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error
+	// Statement fires once per statement instance, before its value
+	// semantics: per-instance communication and the computation charge
+	// happen here.
+	Statement(st *ir.Stmt, sp *spmd.StmtPlan) error
+	// Redistribute fires after an executable redistribution has updated
+	// the dynamic mapping in the State.
+	Redistribute(st *ir.Stmt) error
+	// Tick fires after every loop iteration: abort checks (simulated time
+	// limits, context cancellation) belong here.
+	Tick() error
+}
+
+// GotoEscapeError reports a goto whose target label lies outside the
+// program.
+type GotoEscapeError struct{ Label int }
+
+func (e *GotoEscapeError) Error() string {
+	return fmt.Sprintf("goto %d escaped the program", e.Label)
+}
+
+// Walk interprets the program over s, reporting events to b. It returns the
+// first error a callback or the value semantics produce.
+func Walk(s *State, b Backend) error {
+	w := &walker{s: s, b: b}
+	ctl, err := w.nodes(s.Prog.Res.Prog.Body)
+	if err != nil {
+		return err
+	}
+	if ctl.kind == ctlGoto {
+		return &GotoEscapeError{Label: ctl.label}
+	}
+	return nil
+}
+
+type ctlKind int
+
+const (
+	ctlNormal ctlKind = iota
+	ctlGoto
+)
+
+type control struct {
+	kind  ctlKind
+	label int
+}
+
+type walker struct {
+	s *State
+	b Backend
+}
+
+func (w *walker) nodes(nodes []ir.Node) (control, error) {
+	for i := 0; i < len(nodes); i++ {
+		ctl, err := w.node(nodes[i])
+		if err != nil {
+			return control{}, err
+		}
+		if ctl.kind == ctlGoto {
+			// Look for the labeled CONTINUE later in this sequence.
+			target := -1
+			for j := range nodes {
+				if st, ok := nodes[j].(*ir.Stmt); ok && st.Kind == ir.SContinue && st.Label == ctl.label {
+					target = j
+					break
+				}
+			}
+			if target < 0 {
+				return ctl, nil // propagate upward
+			}
+			i = target // resume at the label
+			continue
+		}
+	}
+	return control{}, nil
+}
+
+func (w *walker) node(n ir.Node) (control, error) {
+	switch x := n.(type) {
+	case *ir.Stmt:
+		return w.stmt(x)
+	case *ir.If:
+		return w.ifNode(x)
+	case *ir.Loop:
+		return w.loop(x)
+	}
+	return control{}, nil
+}
+
+func (w *walker) loop(l *ir.Loop) (control, error) {
+	s := w.s
+	if l.BoundsStmt != nil {
+		if _, err := w.stmt(l.BoundsStmt); err != nil {
+			return control{}, err
+		}
+	}
+	lo, err := s.EvalInt(l.Lo)
+	if err != nil {
+		return control{}, err
+	}
+	hi, err := s.EvalInt(l.Hi)
+	if err != nil {
+		return control{}, err
+	}
+	step := int64(1)
+	if l.Step != nil {
+		step, err = s.EvalInt(l.Step)
+		if err != nil {
+			return control{}, err
+		}
+		if step == 0 {
+			return control{}, fmt.Errorf("zero loop step at line %d", l.Line)
+		}
+	}
+
+	lp := s.Prog.Loops[l]
+	if lp != nil {
+		// The loop index ranges over the whole iteration space for the
+		// purpose of any aggregated transfer; set it to lo so affine
+		// evaluation has a defined base.
+		s.Indices[l.Index] = lo
+		if err := w.b.LoopEntry(l, lp); err != nil {
+			return control{}, err
+		}
+	}
+
+	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+		s.Indices[l.Index] = v
+		s.epoch++
+		ctl, err := w.nodes(l.Body)
+		if err != nil {
+			return control{}, err
+		}
+		if ctl.kind == ctlGoto {
+			return ctl, nil // escaping goto terminates the loop
+		}
+		if err := w.b.Tick(); err != nil {
+			return control{}, err
+		}
+	}
+
+	if lp != nil {
+		if err := w.b.LoopExit(l, lp); err != nil {
+			return control{}, err
+		}
+	}
+	return control{}, nil
+}
+
+func (w *walker) ifNode(ifn *ir.If) (control, error) {
+	if _, err := w.stmt(ifn.Cond); err != nil {
+		return control{}, err
+	}
+	c, err := w.s.Eval(ifn.Cond.Cond)
+	if err != nil {
+		return control{}, err
+	}
+	if c != 0 {
+		return w.nodes(ifn.Then)
+	}
+	return w.nodes(ifn.Else)
+}
+
+// stmt reports the statement to the backend (communication and computation
+// charges), then computes its value semantics.
+func (w *walker) stmt(st *ir.Stmt) (control, error) {
+	s := w.s
+	sp := s.Prog.Stmts[st]
+	if err := w.b.Statement(st, sp); err != nil {
+		return control{}, err
+	}
+
+	switch st.Kind {
+	case ir.SAssign:
+		val, err := s.Eval(st.Rhs)
+		if err != nil {
+			return control{}, err
+		}
+		if err := s.Store(st.Lhs, val); err != nil {
+			return control{}, err
+		}
+	case ir.SIfGoto:
+		c, err := s.Eval(st.Cond)
+		if err != nil {
+			return control{}, err
+		}
+		if c != 0 {
+			return control{kind: ctlGoto, label: st.Label}, nil
+		}
+	case ir.SGoto:
+		return control{kind: ctlGoto, label: st.Label}, nil
+	case ir.SRedistribute:
+		if err := s.ApplyRedistribute(st); err != nil {
+			return control{}, err
+		}
+		if err := w.b.Redistribute(st); err != nil {
+			return control{}, err
+		}
+	case ir.SContinue, ir.SIf, ir.SLoopBounds:
+		// No value semantics here (If predicates are evaluated by ifNode).
+	}
+	return control{}, nil
+}

@@ -1,0 +1,154 @@
+// The differential oracle: runs the same SPMD program through the
+// sequential simulator and the concurrent executor and demands bit-for-bit
+// agreement on every scalar, every array element, and the aggregate
+// communication statistics. Because both backends share their entire
+// interpretation core (internal/eval), any disagreement is a genuine bug in
+// one backend's execution or accounting — the oracle is what makes the
+// concurrent backend trustworthy and the simulator's cost model honest.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"phpf/internal/sim"
+	"phpf/internal/spmd"
+)
+
+// Differ runs both backends and compares their results.
+type Differ struct {
+	// Sim configures the sequential reference run. It must be fault-free
+	// (no fault plan, no checkpointing): faults perturb the simulator's
+	// stats nondeterministically relative to a live run.
+	Sim sim.Config
+	// Exec configures the concurrent run.
+	Exec Config
+}
+
+// DiffReport is the outcome of one differential run.
+type DiffReport struct {
+	Sim  *sim.Result
+	Exec *Result
+	// Mismatches lists every disagreement found (empty = backends agree).
+	Mismatches []string
+}
+
+// Match reports whether the two backends agreed exactly.
+func (r *DiffReport) Match() bool { return len(r.Mismatches) == 0 }
+
+func (r *DiffReport) String() string {
+	if r.Match() {
+		return fmt.Sprintf("backends agree (time %.6gs, %s)", r.Sim.Time, r.Sim.Stats.String())
+	}
+	s := fmt.Sprintf("%d mismatches:", len(r.Mismatches))
+	for _, m := range r.Mismatches {
+		s += "\n  " + m
+	}
+	return s
+}
+
+// Run executes the program on both backends and compares. An error means a
+// backend failed to run (or the configuration is unusable for differential
+// testing); a completed report with mismatches means the backends disagree.
+func (d Differ) Run(ctx context.Context, p *spmd.Program) (*DiffReport, error) {
+	if d.Sim.Fault.Active() {
+		return nil, &ConfigError{Msg: "differential oracle requires a fault-free simulator config"}
+	}
+	if d.Sim.CheckpointInterval > 0 {
+		return nil, &ConfigError{Msg: "differential oracle requires checkpointing off (the concurrent backend takes none)"}
+	}
+	simRes, err := sim.Run(p, d.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("differ: %w", err)
+	}
+	if simRes.Aborted {
+		return nil, &ConfigError{Msg: "differential oracle cannot compare an aborted simulator run (raise Sim.MaxSeconds)"}
+	}
+	execRes, err := Run(ctx, p, d.Exec)
+	if err != nil {
+		return nil, fmt.Errorf("differ: %w", err)
+	}
+	r := &DiffReport{Sim: simRes, Exec: execRes}
+	r.compare()
+	return r, nil
+}
+
+// compare fills Mismatches. Values are compared bitwise: the backends share
+// the evaluation core, so even rounding must be identical.
+func (r *DiffReport) compare() {
+	miss := func(format string, args ...any) {
+		r.Mismatches = append(r.Mismatches, fmt.Sprintf(format, args...))
+	}
+
+	var names []string
+	for name := range r.Sim.Scalars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := r.Sim.Scalars[name]
+		got, ok := r.Exec.Scalars[name]
+		if !ok {
+			miss("scalar %s: missing from concurrent result", name)
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			miss("scalar %s: sim %v, exec %v", name, want, got)
+		}
+	}
+
+	names = names[:0]
+	for name := range r.Sim.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := r.Sim.Arrays[name]
+		got, ok := r.Exec.Arrays[name]
+		if !ok {
+			miss("array %s: missing from concurrent result", name)
+			continue
+		}
+		if len(got) != len(want) {
+			miss("array %s: sim has %d elements, exec %d", name, len(want), len(got))
+			continue
+		}
+		bad := 0
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				if bad == 0 {
+					miss("array %s: first divergence at element %d: sim %v, exec %v",
+						name, i, want[i], got[i])
+				}
+				bad++
+			}
+		}
+		if bad > 1 {
+			miss("array %s: %d diverging elements in total", name, bad)
+		}
+	}
+
+	ss, es := r.Sim.Stats, r.Exec.Stats
+	counters := []struct {
+		name      string
+		sim, exec int64
+	}{
+		{"messages", ss.Messages, es.Messages},
+		{"bytes moved", ss.BytesMoved, es.BytesMoved},
+		{"broadcasts", ss.Broadcasts, es.Broadcasts},
+		{"shifts", ss.Shifts, es.Shifts},
+		{"reductions", ss.Reductions, es.Reductions},
+		{"point-to-point", ss.PointToPoint, es.PointToPoint},
+		{"all-to-alls", ss.AllToAlls, es.AllToAlls},
+	}
+	for _, c := range counters {
+		if c.sim != c.exec {
+			miss("stats %s: sim %d, exec %d", c.name, c.sim, c.exec)
+		}
+	}
+	if math.Float64bits(r.Sim.Time) != math.Float64bits(r.Exec.Time) {
+		miss("simulated time: sim %v, exec %v", r.Sim.Time, r.Exec.Time)
+	}
+}

@@ -1,0 +1,706 @@
+// Package exec is the concurrent SPMD execution backend: one goroutine per
+// simulated processor runs the planned SPMD program for real, exchanging
+// messages over channel-based bounded mailboxes wherever the communication
+// plan (comm.Requirement) says data must move. It shares its entire
+// interpretation core — value semantics, execution sets, communication
+// decisions — with the sequential simulator (internal/sim) through
+// internal/eval, which is what lets the differential oracle (Differ) demand
+// bit-for-bit agreement between the two backends.
+//
+// Execution is replicated: every worker interprets the full program over its
+// own memory image, exactly as the simulator interprets it over its single
+// global image, so all workers make identical control-flow and
+// communication decisions in the same order (the property that makes the
+// rendezvous below deadlock-free). Messages carry the communicated value so
+// receivers verify, bitwise, that the replicated images have not diverged;
+// a final cross-worker sweep verifies complete memory agreement.
+//
+// Communication statistics are kept exactly comparable with the simulator
+// by a deterministic accountant: worker 0 — which observes every planned
+// event in program order, like the simulator does — replays the same
+// machine.Machine calls with the same arguments. The machine instance is
+// owned by that one goroutine, so the accounting needs no locking, and the
+// resulting Stats (and simulated clocks) are identical to the sequential
+// run by construction. The real channel traffic is verified independently,
+// through per-edge sequence numbers, requirement tags, and the watchdog.
+//
+// Robustness: a worker panic is contained and surfaced as *WorkerError
+// with the process intact; a wedged worker set is detected by the stall
+// watchdog and reported as *StallError naming the blocked operations; and
+// cancellation or deadline on the caller's context unwinds every worker
+// (replacing the simulator's ad-hoc simulated-time cutoff with real
+// wall-clock enforcement).
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phpf/internal/comm"
+	"phpf/internal/dist"
+	"phpf/internal/eval"
+	"phpf/internal/ir"
+	"phpf/internal/machine"
+	"phpf/internal/spmd"
+)
+
+// DefaultMailboxDepth is the default bound of each directed mailbox.
+const DefaultMailboxDepth = 64
+
+// DefaultStallTimeout is the default quiet period after which the watchdog
+// declares the worker set stalled.
+const DefaultStallTimeout = 10 * time.Second
+
+// Config controls a concurrent run.
+type Config struct {
+	// Params is the machine cost model used for the statistics accounting
+	// (zero value = machine.SP2(), mirroring sim.Config).
+	Params machine.Params
+	// Workers is the requested worker count. The SPMD program is planned
+	// for exactly NProcs processors and every planned rendezvous names
+	// concrete processor pairs, so the only valid values are 0 (meaning
+	// NProcs) and NProcs itself; anything else is a ConfigError rather
+	// than a deadlock at the first unmatched send.
+	Workers int
+	// MailboxDepth bounds each directed mailbox (0 = DefaultMailboxDepth;
+	// must be at least 1 so self-sends and ring shifts cannot wedge).
+	MailboxDepth int
+	// StallTimeout is how long the watchdog waits without any worker
+	// progress before declaring a stall (0 = DefaultStallTimeout,
+	// negative = watchdog disabled).
+	StallTimeout time.Duration
+
+	// Test hooks (package-internal): testDropSend suppresses a worker's
+	// sends for a requirement, wedging its receivers on purpose; testHook
+	// runs at every loop-iteration tick.
+	testDropSend func(proc int, req *comm.Requirement) bool
+	testHook     func(proc int) error
+}
+
+// Result is the outcome of a concurrent run.
+type Result struct {
+	// Time and Stats are the accountant's replay of the cost model —
+	// directly comparable with (and, fault-free, identical to) the
+	// sequential simulator's.
+	Time  float64
+	Stats machine.Stats
+
+	// Final memory (verified identical across all workers).
+	Scalars map[string]float64
+	Arrays  map[string][]float64
+
+	// Workers is the number of worker goroutines that ran.
+	Workers int
+	// TrafficMessages counts the real channel messages exchanged (the
+	// physical rendezvous, not the cost model's modeled message count).
+	TrafficMessages int64
+}
+
+// message is one mailbox entry. Each directed edge carries an independent
+// sequence number; receivers verify both the tag and the sequence, so any
+// divergence in the workers' planned event order is a ProtocolError, not a
+// silent mismatch.
+type message struct {
+	req    int    // comm.Requirement ID, or a negative protocol tag
+	seq    uint64 // per-edge sequence number
+	bits   uint64 // math.Float64bits of the payload value
+	hasVal bool
+}
+
+// Protocol tags for traffic that does not belong to a planned requirement.
+const (
+	tagReduce       = -2 // member -> root partial-value message
+	tagReduceResult = -3 // root -> member combined-result message
+	tagBarrier      = -4 // member -> coordinator redistribution barrier
+	tagRelease      = -5 // coordinator -> member barrier release
+)
+
+type executor struct {
+	prog   *spmd.Program
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	n      int
+
+	// mail[from][to] is the bounded mailbox for one directed edge.
+	mail [][]chan message
+	// mach is the accountant's machine; owned exclusively by worker 0's
+	// goroutine while workers run, read by Run after they all finish.
+	mach *machine.Machine
+	wd   *watchdog
+	// reqDesc names each planned requirement for watchdog reports.
+	reqDesc map[int]string
+
+	traffic atomic.Int64
+}
+
+// Run executes the program concurrently. The context's cancellation or
+// deadline aborts the run (every worker unwinds and the context error is
+// returned); a nil ctx means context.Background().
+func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, &ConfigError{Msg: "nil program"}
+	}
+	if cfg.Params == (machine.Params{}) {
+		cfg.Params = machine.SP2()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	n := p.NProcs()
+	if cfg.Workers != 0 && cfg.Workers != n {
+		return nil, &ConfigError{Msg: fmt.Sprintf(
+			"program is planned for %d processors; Workers must be 0 or %d, got %d (a smaller worker set would deadlock the planned rendezvous)",
+			n, n, cfg.Workers)}
+	}
+	if cfg.MailboxDepth < 0 {
+		return nil, &ConfigError{Msg: fmt.Sprintf("MailboxDepth must be >= 0 (0 = default %d), got %d", DefaultMailboxDepth, cfg.MailboxDepth)}
+	}
+	depth := cfg.MailboxDepth
+	if depth == 0 {
+		depth = DefaultMailboxDepth
+	}
+	stall := cfg.StallTimeout
+	if stall == 0 {
+		stall = DefaultStallTimeout
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ex := &executor{
+		prog:    p,
+		cfg:     cfg,
+		ctx:     cctx,
+		cancel:  cancel,
+		n:       n,
+		mach:    machine.New(p.Grid(), cfg.Params),
+		wd:      newWatchdog(n),
+		reqDesc: map[int]string{},
+	}
+	for _, req := range p.Plan.Reqs {
+		ex.reqDesc[req.ID] = req.String()
+	}
+	ex.mail = make([][]chan message, n)
+	for i := range ex.mail {
+		ex.mail[i] = make([]chan message, n)
+		for j := range ex.mail[i] {
+			ex.mail[i][j] = make(chan message, depth)
+		}
+	}
+	states := make([]*eval.State, n)
+	for i := range states {
+		st, err := eval.NewState(p)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		states[i] = st
+	}
+
+	if stall > 0 {
+		go ex.wd.watch(cctx, stall, cancel)
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			defer ex.wd.finish(proc)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[proc] = &WorkerError{Proc: proc, PanicValue: r, Stack: string(debug.Stack())}
+					cancel()
+				}
+			}()
+			w := &worker{
+				ex:      ex,
+				proc:    proc,
+				st:      states[proc],
+				sendSeq: make([]uint64, n),
+				recvSeq: make([]uint64, n),
+			}
+			if err := eval.Walk(states[proc], w); err != nil {
+				errs[proc] = err
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	ex.wd.stop()
+
+	if se := ex.wd.stallError(); se != nil {
+		return nil, se
+	}
+	if err := pickError(errs); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	if err := checkConsistency(states); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Time:            ex.mach.Time(),
+		Stats:           ex.mach.Stats,
+		Scalars:         map[string]float64{},
+		Arrays:          map[string][]float64{},
+		Workers:         n,
+		TrafficMessages: ex.traffic.Load(),
+	}
+	for v, x := range states[0].Scalars {
+		res.Scalars[v.Name] = x
+	}
+	for v, a := range states[0].Arrays {
+		res.Arrays[v.Name] = a
+	}
+	return res, nil
+}
+
+// pickError selects the run's verdict from the per-worker errors: the first
+// (lowest-processor) substantive error wins; context errors — which every
+// other worker reports once the first failure cancels the run — are
+// reported only when nothing better explains the failure.
+func pickError(errs []error) error {
+	var ctxErr error
+	for proc, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		var ge *eval.GotoEscapeError
+		if errors.As(err, &ge) {
+			return fmt.Errorf("exec: goto %d escaped the program", ge.Label)
+		}
+		var we *WorkerError
+		if errors.As(err, &we) {
+			return we
+		}
+		return fmt.Errorf("exec: p%d: %w", proc, err)
+	}
+	if ctxErr != nil {
+		return fmt.Errorf("exec: %w", ctxErr)
+	}
+	return nil
+}
+
+// checkConsistency verifies every worker's final memory image is bitwise
+// identical to worker 0's — the replicated-execution invariant.
+func checkConsistency(states []*eval.State) error {
+	ref := states[0]
+	for p := 1; p < len(states); p++ {
+		st := states[p]
+		for v, want := range ref.Scalars {
+			if got := st.Scalars[v]; math.Float64bits(got) != math.Float64bits(want) {
+				return &DivergenceError{Proc: p, Peer: 0, What: "final scalar " + v.Name, Got: got, Want: want}
+			}
+		}
+		for v, want := range ref.Arrays {
+			got := st.Arrays[v]
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					return &DivergenceError{Proc: p, Peer: 0,
+						What: fmt.Sprintf("final %s element %d", v.Name, i), Got: got[i], Want: want[i]}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+// worker is one simulated processor: an eval.Backend whose events perform
+// real channel communication (and, on processor 0, the statistics replay).
+type worker struct {
+	ex   *executor
+	proc int
+	st   *eval.State
+	// sendSeq[to] / recvSeq[from] are the per-edge sequence counters.
+	sendSeq, recvSeq []uint64
+}
+
+// elemBytes is the payload size of one element message.
+func (w *worker) elemBytes() int64 { return int64(w.ex.cfg.Params.ElemBytes) }
+
+// accountant reports whether this worker replays the cost model.
+func (w *worker) accountant() bool { return w.proc == 0 }
+
+func (w *worker) desc(req *comm.Requirement) string { return w.ex.reqDesc[req.ID] }
+
+// send delivers m on the edge proc->to, blocking when the mailbox is full.
+// The blocked operation registers with the watchdog only after the
+// non-blocking fast path fails.
+func (w *worker) send(to int, m message, what string) error {
+	m.seq = w.sendSeq[to]
+	w.sendSeq[to]++
+	ch := w.ex.mail[w.proc][to]
+	select {
+	case ch <- m:
+		w.ex.traffic.Add(1)
+		w.ex.wd.tick()
+		return nil
+	default:
+	}
+	h := w.ex.wd.block(w.proc, "send", to, what)
+	defer w.ex.wd.unblock(h)
+	select {
+	case ch <- m:
+		w.ex.traffic.Add(1)
+		w.ex.wd.tick()
+		return nil
+	case <-w.ex.ctx.Done():
+		return w.ex.ctx.Err()
+	}
+}
+
+// recv takes the next message on the edge from->proc and verifies it
+// matches the expected requirement tag and per-edge sequence number.
+func (w *worker) recv(from, wantReq int, what string) (message, error) {
+	ch := w.ex.mail[from][w.proc]
+	var m message
+	select {
+	case m = <-ch:
+	default:
+		h := w.ex.wd.block(w.proc, "recv", from, what)
+		select {
+		case m = <-ch:
+			w.ex.wd.unblock(h)
+		case <-w.ex.ctx.Done():
+			w.ex.wd.unblock(h)
+			return message{}, w.ex.ctx.Err()
+		}
+	}
+	w.ex.wd.tick()
+	wantSeq := w.recvSeq[from]
+	w.recvSeq[from]++
+	if m.req != wantReq || m.seq != wantSeq {
+		return message{}, &ProtocolError{Proc: w.proc, From: from,
+			WantReq: wantReq, GotReq: m.req, WantSeq: wantSeq, GotSeq: m.seq, What: what}
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// eval.Backend
+
+// Tick fires after every loop iteration: progress for the watchdog plus
+// cancellation/deadline enforcement.
+func (w *worker) Tick() error {
+	w.ex.wd.tick()
+	if h := w.ex.cfg.testHook; h != nil {
+		if err := h(w.proc); err != nil {
+			return err
+		}
+	}
+	return w.ex.ctx.Err()
+}
+
+// LoopEntry performs the vectorized communications hoisted to this loop.
+func (w *worker) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
+	for _, req := range lp.Hoisted {
+		op, err := w.st.VectorizedOp(req, w.elemBytes())
+		if err != nil {
+			return err
+		}
+		if w.accountant() {
+			switch op.Kind {
+			case eval.VecShift:
+				w.ex.mach.Shift(op.Participants, op.PerProc)
+			case eval.VecBcast:
+				w.ex.mach.Multicast(op.From, op.Dst, op.Bytes)
+			case eval.VecExchange:
+				w.ex.mach.Exchange(op.Src, op.Dst, op.Bytes)
+			}
+		}
+		if err := w.vectorizedComm(req, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vectorizedComm performs the real traffic of one hoisted requirement. The
+// concrete topology mirrors what the cost model charges: a ring exchange
+// for shifts, root-to-members for broadcasts, owner-to-consumer messages
+// for general aggregated communication.
+func (w *worker) vectorizedComm(req *comm.Requirement, op eval.VectorizedOp) error {
+	what := w.desc(req)
+	dropped := w.ex.cfg.testDropSend != nil && w.ex.cfg.testDropSend(w.proc, req)
+	switch op.Kind {
+	case eval.VecSkip:
+		return nil
+
+	case eval.VecShift:
+		if w.ex.n < 2 {
+			return nil
+		}
+		next := (w.proc + 1) % w.ex.n
+		prev := (w.proc - 1 + w.ex.n) % w.ex.n
+		if !dropped {
+			if err := w.send(next, message{req: req.ID}, what); err != nil {
+				return err
+			}
+		}
+		_, err := w.recv(prev, req.ID, what)
+		return err
+
+	case eval.VecBcast:
+		members := 0
+		for _, p := range op.Dst.Procs() {
+			if p != op.From {
+				members++
+			}
+		}
+		if members == 0 {
+			return nil
+		}
+		if w.proc == op.From {
+			for _, p := range op.Dst.Procs() {
+				if p == op.From || dropped {
+					continue
+				}
+				if err := w.send(p, message{req: req.ID}, what); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if op.Dst.Contains(w.proc) {
+			_, err := w.recv(op.From, req.ID, what)
+			return err
+		}
+		return nil
+
+	case eval.VecExchange:
+		srcProcs := op.Src.Procs()
+		if len(srcProcs) == 0 {
+			return nil
+		}
+		var rcv []int
+		for _, p := range op.Dst.Procs() {
+			if !op.Src.Contains(p) {
+				rcv = append(rcv, p)
+			}
+		}
+		// Each receiver pairs with a deterministic owner.
+		for i, d := range rcv {
+			s := srcProcs[i%len(srcProcs)]
+			if w.proc == s && !dropped {
+				if err := w.send(d, message{req: req.ID}, what); err != nil {
+					return err
+				}
+			}
+		}
+		for i, d := range rcv {
+			if w.proc == d {
+				if _, err := w.recv(srcProcs[i%len(srcProcs)], req.ID, what); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// LoopExit performs the global reduction combines that run after the loop:
+// a star gather to a deterministic root and a result broadcast back, with
+// the partial values compared bitwise (replicated execution makes every
+// partial the full value, so they must all agree).
+func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
+	for _, m := range lp.Combines {
+		set := w.st.PatternSet(m.Pattern, nil)
+		if w.accountant() {
+			w.ex.mach.Reduce(set, w.elemBytes())
+		}
+		procs := set.Procs()
+		if len(procs) < 2 || !set.Contains(w.proc) {
+			continue
+		}
+		what := "combine " + m.Def.Var.Name
+		root := procs[0]
+		bits := math.Float64bits(w.st.Scalars[m.Def.Var])
+		if w.proc == root {
+			for _, p := range procs[1:] {
+				got, err := w.recv(p, tagReduce, what)
+				if err != nil {
+					return err
+				}
+				if got.hasVal && got.bits != bits {
+					return &DivergenceError{Proc: w.proc, Peer: p, What: what,
+						Got: math.Float64frombits(got.bits), Want: w.st.Scalars[m.Def.Var]}
+				}
+			}
+			for _, p := range procs[1:] {
+				if err := w.send(p, message{req: tagReduceResult, hasVal: true, bits: bits}, what); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := w.send(root, message{req: tagReduce, hasVal: true, bits: bits}, what); err != nil {
+				return err
+			}
+			got, err := w.recv(root, tagReduceResult, what)
+			if err != nil {
+				return err
+			}
+			if got.hasVal && got.bits != bits {
+				return &DivergenceError{Proc: w.proc, Peer: root, What: what,
+					Got: math.Float64frombits(got.bits), Want: w.st.Scalars[m.Def.Var]}
+			}
+		}
+	}
+	return nil
+}
+
+// Statement performs per-instance communication for one statement instance
+// (and, on the accountant, replays the guard, message, and compute charges).
+func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
+	for _, req := range sp.PerInstance {
+		op, err := w.st.InstanceOp(req, sp, w.elemBytes())
+		if err != nil {
+			return err
+		}
+		if w.accountant() && w.ex.cfg.Params.GuardTime > 0 {
+			w.ex.mach.Compute(dist.AllProcs(w.st.Grid()), w.ex.cfg.Params.GuardTime)
+		}
+		if op.Skip {
+			continue
+		}
+		if w.accountant() {
+			if to, one := op.Dst.IsSingle(); one {
+				w.ex.mach.Send(op.From, to, op.Bytes)
+			} else {
+				w.ex.mach.Multicast(op.From, op.Dst, op.Bytes)
+			}
+		}
+		if err := w.instanceComm(req, op); err != nil {
+			return err
+		}
+	}
+	execSet, err := w.st.ExecSet(sp)
+	if err != nil {
+		return err
+	}
+	if w.accountant() && sp.Flops > 0 {
+		w.ex.mach.Compute(execSet, float64(sp.Flops)*w.ex.cfg.Params.FlopTime)
+	}
+	return nil
+}
+
+// instanceComm performs the real traffic of one per-instance requirement:
+// the owner representative sends the element's value to the execution set,
+// and every receiver verifies the payload against its replicated copy.
+func (w *worker) instanceComm(req *comm.Requirement, op eval.InstanceOp) error {
+	what := w.desc(req)
+	dropped := w.ex.cfg.testDropSend != nil && w.ex.cfg.testDropSend(w.proc, req)
+
+	// The communicated value, evaluated on the pre-statement image — it is
+	// identical on every worker under replicated execution, which is
+	// exactly what the receivers verify bitwise.
+	m := message{req: req.ID}
+	local, lerr := w.st.Eval(req.Use.Ast)
+	if lerr == nil {
+		m.hasVal = true
+		m.bits = math.Float64bits(local)
+	}
+	verify := func(got message, from int) error {
+		if !got.hasVal || lerr != nil {
+			return nil // the statement's own semantics will surface lerr
+		}
+		if got.bits != math.Float64bits(local) {
+			return &DivergenceError{Proc: w.proc, Peer: from, What: what,
+				Got: math.Float64frombits(got.bits), Want: local}
+		}
+		return nil
+	}
+
+	if to, one := op.Dst.IsSingle(); one {
+		// Point-to-point delivery (a self-send uses the self edge, kept
+		// for exact parity with the cost model, which charges it too).
+		if w.proc == op.From && !dropped {
+			if err := w.send(to, m, what); err != nil {
+				return err
+			}
+		}
+		if w.proc == to {
+			got, err := w.recv(op.From, req.ID, what)
+			if err != nil {
+				return err
+			}
+			return verify(got, op.From)
+		}
+		return nil
+	}
+	// Multicast delivery: the root does not message itself (the cost
+	// model's Multicast excludes the source as well).
+	if w.proc == op.From {
+		for _, p := range op.Dst.Procs() {
+			if p == op.From || dropped {
+				continue
+			}
+			if err := w.send(p, m, what); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if op.Dst.Contains(w.proc) {
+		got, err := w.recv(op.From, req.ID, what)
+		if err != nil {
+			return err
+		}
+		return verify(got, op.From)
+	}
+	return nil
+}
+
+// Redistribute performs the barrier an executable redistribution implies
+// (the mapping update has already been applied to every worker's state) and
+// replays its all-to-all charge.
+func (w *worker) Redistribute(st *ir.Stmt) error {
+	if w.accountant() {
+		per := w.st.RedistBytesPerProc(st, w.elemBytes())
+		w.ex.mach.AllToAll(dist.AllProcs(w.st.Grid()), per)
+	}
+	if w.ex.n < 2 {
+		return nil
+	}
+	what := "redistribute " + st.Redist.Array.Name
+	if w.proc == 0 {
+		for p := 1; p < w.ex.n; p++ {
+			if _, err := w.recv(p, tagBarrier, what); err != nil {
+				return err
+			}
+		}
+		for p := 1; p < w.ex.n; p++ {
+			if err := w.send(p, message{req: tagRelease}, what); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := w.send(0, message{req: tagBarrier}, what); err != nil {
+		return err
+	}
+	_, err := w.recv(0, tagRelease, what)
+	return err
+}

@@ -118,10 +118,45 @@ func TestParseCrashes(t *testing.T) {
 	if got, err := ParseCrashes(""); err != nil || got != nil {
 		t.Fatalf("empty spec: got %+v, %v", got, err)
 	}
-	for _, bad := range []string{"3", "x@1", "3@y", "3@1@2"} {
+	for _, bad := range []string{"3", "x@1", "3@y", "3@1@2",
+		"@1", "3@", "@", "3@0.5,", ",3@0.5", "3@0.5,,7@1.2", "3 @ 0.5"} {
 		if _, err := ParseCrashes(bad); err == nil {
 			t.Errorf("ParseCrashes(%q): want error", bad)
 		}
+	}
+}
+
+// TestParsedNegativesRejectedByValidate: negative times and processors are
+// syntactically valid specs — the parser accepts them and Plan.Validate is
+// the layer that rejects them, so a CLI typo still dies with a clear error.
+func TestParsedNegativesRejectedByValidate(t *testing.T) {
+	crashes, err := ParseCrashes("3@-0.5")
+	if err != nil {
+		t.Fatalf("negative time should parse: %v", err)
+	}
+	if err := (&Plan{Crashes: crashes}).Validate(); err == nil {
+		t.Error("negative crash time passed Validate")
+	}
+	crashes, err = ParseCrashes("-3@0.5")
+	if err != nil {
+		t.Fatalf("negative processor should parse: %v", err)
+	}
+	if err := (&Plan{Crashes: crashes}).Validate(); err == nil {
+		t.Error("negative crash processor passed Validate")
+	}
+	slows, err := ParseSlowdowns("2:1.5:-0.1")
+	if err != nil {
+		t.Fatalf("negative start should parse: %v", err)
+	}
+	if err := (&Plan{Slowdowns: slows}).Validate(); err == nil {
+		t.Error("negative slowdown start passed Validate")
+	}
+	slows, err = ParseSlowdowns("2:0.5")
+	if err != nil {
+		t.Fatalf("sub-unit factor should parse: %v", err)
+	}
+	if err := (&Plan{Slowdowns: slows}).Validate(); err == nil {
+		t.Error("slowdown factor < 1 passed Validate")
 	}
 }
 
@@ -134,7 +169,11 @@ func TestParseSlowdowns(t *testing.T) {
 	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("got %+v, want %+v", got, want)
 	}
-	for _, bad := range []string{"2", "x:2", "2:y", "2:2:z", "2:2:0:w", "1:2:3:4:5"} {
+	if got, err := ParseSlowdowns("  "); err != nil || got != nil {
+		t.Fatalf("blank spec: got %+v, %v", got, err)
+	}
+	for _, bad := range []string{"2", "x:2", "2:y", "2:2:z", "2:2:0:w", "1:2:3:4:5",
+		":2", "2:", ":", "2:1.5,", ",2:1.5", "2:1.5,,3:2", "2 : 1.5"} {
 		if _, err := ParseSlowdowns(bad); err == nil {
 			t.Errorf("ParseSlowdowns(%q): want error", bad)
 		}

@@ -14,6 +14,7 @@ func FuzzLex(f *testing.F) {
 	f.Add(programs.TOMCATV(17, 2))
 	f.Add(programs.DGEFA(16))
 	f.Add(programs.APPSP(6, 6, 6, 1, true))
+	f.Add(programs.Smooth(64, 2))
 	for _, src := range programs.Figures {
 		f.Add(src)
 	}

@@ -16,6 +16,7 @@ func FuzzParse(f *testing.F) {
 	f.Add(programs.DGEFA(16))
 	f.Add(programs.APPSP(6, 6, 6, 1, true))
 	f.Add(programs.APPSP(6, 6, 6, 1, false))
+	f.Add(programs.Smooth(64, 2))
 	for _, src := range programs.Figures {
 		f.Add(src)
 	}

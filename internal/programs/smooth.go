@@ -1,0 +1,36 @@
+package programs
+
+import "fmt"
+
+// Smooth returns the quickstart example's 1-D three-point smoothing kernel:
+// a block-distributed vector relaxed through privatizable boundary scalars
+// (left, right). The offset reads u(i-1)/u(i+1) make its compiled form a
+// nearest-neighbor shift — the smallest program with real vectorized
+// communication, which is why it seeds both the fuzz corpora and the
+// differential oracle.
+func Smooth(n, niter int) string {
+	return fmt.Sprintf(`
+program smooth
+parameter n = %d
+parameter niter = %d
+real u(n), v(n)
+real left, right
+integer i, it
+!hpf$ align v(i) with u(i)
+!hpf$ distribute (block) :: u
+do i = 1, n
+  u(i) = i * 0.001
+end do
+do it = 1, niter
+  do i = 2, n-1
+    left = u(i-1)
+    right = u(i+1)
+    v(i) = 0.25 * left + 0.5 * u(i) + 0.25 * right
+  end do
+  do i = 2, n-1
+    u(i) = v(i)
+  end do
+end do
+end
+`, n, niter)
+}

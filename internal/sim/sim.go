@@ -5,18 +5,23 @@
 // execution set, per-instance communications synchronize sender and
 // receivers, and vectorized communications are charged once per entry of
 // their outermost hoisted loop. The program's values are computed for real,
-// so results can be validated against sequential references.
+// so results can be validated against sequential references — and the
+// concurrent backend (internal/exec) is validated against this simulator by
+// the differential oracle.
+//
+// The interpretation core (value semantics, execution sets, communication
+// decisions) lives in internal/eval and is shared with internal/exec; this
+// package contributes the cost model, fault injection, and checkpointing.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
-	"phpf/internal/ast"
-	"phpf/internal/comm"
-	"phpf/internal/core"
 	"phpf/internal/dist"
+	"phpf/internal/eval"
 	"phpf/internal/fault"
 	"phpf/internal/ir"
 	"phpf/internal/machine"
@@ -44,6 +49,27 @@ type Config struct {
 	// processor refetches aligned and partitioned state, while replicated
 	// state restores locally.
 	CheckpointInterval float64
+}
+
+// Validate rejects configurations that cannot describe a run, mirroring
+// machine.Params.Validate: a negative or NaN time limit (the paper's aborted
+// entries need a positive bound; zero means unlimited), and a negative,
+// NaN, or infinite checkpoint interval (zero means checkpointing off).
+// Params and Fault carry their own validators and are checked by Run.
+func (c Config) Validate() error {
+	if math.IsNaN(c.MaxSeconds) || math.IsInf(c.MaxSeconds, 0) {
+		return fmt.Errorf("sim: MaxSeconds must be finite, got %v", c.MaxSeconds)
+	}
+	if c.MaxSeconds < 0 {
+		return fmt.Errorf("sim: MaxSeconds must be >= 0 (0 = unlimited), got %v", c.MaxSeconds)
+	}
+	if math.IsNaN(c.CheckpointInterval) || math.IsInf(c.CheckpointInterval, 0) {
+		return fmt.Errorf("sim: CheckpointInterval must be finite, got %v", c.CheckpointInterval)
+	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("sim: CheckpointInterval must be >= 0 (0 = off), got %v", c.CheckpointInterval)
+	}
+	return nil
 }
 
 // StmtProfile is one statement's share of the simulated activity.
@@ -78,8 +104,14 @@ func (errAbort) Error() string { return "simulated time limit exceeded" }
 
 // Run executes the program with cfg.
 func Run(p *spmd.Program, cfg Config) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil program")
+	}
 	if cfg.Params == (machine.Params{}) {
 		cfg.Params = machine.SP2()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -100,38 +132,33 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 			}
 		}
 	}
-	if cfg.CheckpointInterval < 0 || math.IsNaN(cfg.CheckpointInterval) {
-		return nil, fmt.Errorf("sim: checkpoint interval must be >= 0, got %v", cfg.CheckpointInterval)
+	st, err := eval.NewState(p)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	in := &interp{
-		prog:    p,
-		cfg:     cfg,
-		mach:    machine.New(p.Res.Mapping.Grid, cfg.Params),
-		inj:     fault.NewInjector(cfg.Fault),
-		scalars: map[*ir.Var]float64{},
-		arrays:  map[*ir.Var][]float64{},
-		indices: map[*ir.Var]int64{},
-		dyn:     map[*ir.Var]*dist.ArrayMap{},
+		prog: p,
+		cfg:  cfg,
+		st:   st,
+		mach: machine.New(p.Res.Mapping.Grid, cfg.Params),
+		inj:  fault.NewInjector(cfg.Fault),
 	}
 	in.mach.Fault = in.inj
 	if cfg.Profile {
 		in.profile = map[*ir.Stmt]*StmtProfile{}
 	}
-	for _, v := range p.Res.Prog.VarList {
-		if v.IsArray() {
-			in.arrays[v] = make([]float64, v.Size())
-			in.dyn[v] = p.Res.Mapping.Arrays[v]
-		}
-	}
-	ctl, err := in.runNodes(p.Res.Prog.Body)
+	err = eval.Walk(st, in)
 	aborted := false
 	if err != nil {
-		if _, ok := err.(errAbort); !ok {
-			return nil, err
+		var ge *eval.GotoEscapeError
+		switch {
+		case errors.As(err, &ge):
+			return nil, fmt.Errorf("sim: goto %d escaped the program", ge.Label)
+		case errors.Is(err, errAbort{}):
+			aborted = true
+		default:
+			return nil, simError(err)
 		}
-		aborted = true
-	} else if ctl.kind == ctlGoto {
-		return nil, fmt.Errorf("sim: goto %d escaped the program", ctl.label)
 	}
 	res := &Result{
 		Time:    in.mach.Time(),
@@ -140,10 +167,10 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 		Scalars: map[string]float64{},
 		Arrays:  map[string][]float64{},
 	}
-	for v, x := range in.scalars {
+	for v, x := range st.Scalars {
 		res.Scalars[v.Name] = x
 	}
-	for v, a := range in.arrays {
+	for v, a := range st.Arrays {
 		res.Arrays[v.Name] = a
 	}
 	if in.profile != nil {
@@ -160,21 +187,18 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-type ctlKind int
-
-const (
-	ctlNormal ctlKind = iota
-	ctlGoto
-)
-
-type control struct {
-	kind  ctlKind
-	label int
+// simError prefixes interpretation errors with the package name (the shared
+// core reports bare messages so each backend can brand its own).
+func simError(err error) error {
+	return fmt.Errorf("sim: %w", err)
 }
 
+// interp drives the simulated machine from the shared walker: it implements
+// eval.Backend, charging compute and communication costs at every event.
 type interp struct {
 	prog *spmd.Program
 	cfg  Config
+	st   *eval.State
 	mach *machine.Machine
 
 	// inj draws fault decisions (nil on fault-free runs); lastCkpt is the
@@ -182,17 +206,6 @@ type interp struct {
 	// one at t=0 until a real one is taken).
 	inj      *fault.Injector
 	lastCkpt float64
-
-	scalars map[*ir.Var]float64
-	arrays  map[*ir.Var][]float64
-	indices map[*ir.Var]int64
-	// dyn holds the current (possibly redistributed) mapping per array.
-	dyn map[*ir.Var]*dist.ArrayMap
-
-	// unionCache memoizes the per-iteration union execution set.
-	unionCache map[*ir.Loop]dist.ProcSet
-	unionEpoch map[*ir.Loop]int64
-	epoch      int64
 
 	// profile accumulates per-statement attribution when enabled.
 	profile map[*ir.Stmt]*StmtProfile
@@ -224,8 +237,6 @@ func (in *interp) attribute(st *ir.Stmt, fn func() error) error {
 	return err
 }
 
-func (in *interp) grid() *dist.Grid { return in.prog.Res.Mapping.Grid }
-
 func (in *interp) checkTime() error {
 	if in.inj != nil {
 		// Fire any fail-stop crashes whose time has been reached. Recovery
@@ -244,6 +255,109 @@ func (in *interp) checkTime() error {
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// eval.Backend
+
+// Tick fires after every loop iteration.
+func (in *interp) Tick() error { return in.checkTime() }
+
+// LoopEntry performs the vectorized communications hoisted to this loop
+// (and, at hoisted-communication boundaries, coordinated checkpoints).
+func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
+	// A hoisted-communication boundary is a natural coordination point:
+	// no aggregated transfer is in flight, so a consistent checkpoint
+	// needs no message draining.
+	if len(lp.Hoisted) > 0 || l.Parent == nil {
+		in.maybeCheckpoint()
+	}
+	for _, req := range lp.Hoisted {
+		req := req
+		if err := in.attribute(req.Stmt, func() error {
+			op, err := in.st.VectorizedOp(req, int64(in.cfg.Params.ElemBytes))
+			if err != nil {
+				return err
+			}
+			switch op.Kind {
+			case eval.VecSkip:
+				return nil
+			case eval.VecShift:
+				in.mach.Shift(op.Participants, op.PerProc)
+			case eval.VecBcast:
+				in.mach.Multicast(op.From, op.Dst, op.Bytes)
+			case eval.VecExchange:
+				in.mach.Exchange(op.Src, op.Dst, op.Bytes)
+			}
+			return in.checkTime()
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoopExit charges the global reduction combines that run after the loop.
+func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
+	for _, m := range lp.Combines {
+		set := in.st.PatternSet(m.Pattern, nil)
+		in.mach.Reduce(set, int64(in.cfg.Params.ElemBytes))
+	}
+	return nil
+}
+
+// Statement performs per-instance communication and charges the computation
+// of one statement instance.
+func (in *interp) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
+	do := func() error {
+		for _, req := range sp.PerInstance {
+			op, err := in.st.InstanceOp(req, sp, int64(in.cfg.Params.ElemBytes))
+			if err != nil {
+				return err
+			}
+			// Communication left inside a loop defeats loop-bound
+			// shrinking: every processor must traverse the iteration space
+			// evaluating the ownership guard, whether or not it
+			// communicates.
+			if in.cfg.Params.GuardTime > 0 {
+				in.mach.Compute(dist.AllProcs(in.st.Grid()), in.cfg.Params.GuardTime)
+			}
+			if op.Skip {
+				continue
+			}
+			if to, one := op.Dst.IsSingle(); one {
+				in.mach.Send(op.From, to, op.Bytes)
+			} else {
+				in.mach.Multicast(op.From, op.Dst, op.Bytes)
+			}
+			if err := in.checkTime(); err != nil {
+				return err
+			}
+		}
+		execSet, err := in.st.ExecSet(sp)
+		if err != nil {
+			return err
+		}
+		if sp.Flops > 0 {
+			in.mach.Compute(execSet, float64(sp.Flops)*in.cfg.Params.FlopTime)
+		}
+		return nil
+	}
+	if in.profile != nil {
+		return in.attribute(st, do)
+	}
+	return do()
+}
+
+// Redistribute charges the all-to-all an executable redistribution performs
+// (the mapping update has already been applied to the state).
+func (in *interp) Redistribute(st *ir.Stmt) error {
+	per := in.st.RedistBytesPerProc(st, int64(in.cfg.Params.ElemBytes))
+	in.mach.AllToAll(dist.AllProcs(in.st.Grid()), per)
+	return in.checkTime()
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing and crash recovery
 
 // maybeCheckpoint takes a coordinated checkpoint at a hoisted-communication
 // boundary when the configured interval has elapsed. Checkpoint state is
@@ -264,7 +378,7 @@ func (in *interp) maybeCheckpoint() {
 // checkpointBytes returns each processor's live state size: its partition of
 // every (dynamically mapped) array plus one element per scalar variable.
 func (in *interp) checkpointBytes() []int64 {
-	g := in.grid()
+	g := in.st.Grid()
 	eb := int64(in.cfg.Params.ElemBytes)
 	out := make([]int64, g.Size())
 	var scalarBytes int64
@@ -277,7 +391,7 @@ func (in *interp) checkpointBytes() []int64 {
 	for p := range out {
 		coords := g.Coords(p)
 		b := scalarBytes
-		for _, am := range in.dyn {
+		for _, am := range in.st.Dyn {
 			if am == nil {
 				continue
 			}
@@ -312,14 +426,14 @@ func (in *interp) recoverCrash(c *fault.Crash) {
 // one element per scalar variable classified RecoverRefetch by the SPMD
 // plan (aligned and reduction-mapped privatized scalars).
 func (in *interp) refetchCost(p int) (bytes, msgs int64) {
-	g := in.grid()
+	g := in.st.Grid()
 	coords := g.Coords(p)
 	eb := int64(in.cfg.Params.ElemBytes)
 	for _, v := range in.prog.Res.Prog.VarList {
 		if !v.IsArray() {
 			continue
 		}
-		am := in.dyn[v]
+		am := in.st.Dyn[v]
 		if am == nil || am.FullyReplicated() {
 			continue // replicated: every survivor holds a copy
 		}
@@ -336,779 +450,4 @@ func (in *interp) refetchCost(p int) (bytes, msgs int64) {
 		msgs++
 	}
 	return bytes, msgs
-}
-
-// ---------------------------------------------------------------------------
-// Node execution
-
-func (in *interp) runNodes(nodes []ir.Node) (control, error) {
-	for i := 0; i < len(nodes); i++ {
-		ctl, err := in.runNode(nodes[i])
-		if err != nil {
-			return control{}, err
-		}
-		if ctl.kind == ctlGoto {
-			// Look for the labeled CONTINUE later in this sequence.
-			target := -1
-			for j := range nodes {
-				if st, ok := nodes[j].(*ir.Stmt); ok && st.Kind == ir.SContinue && st.Label == ctl.label {
-					target = j
-					break
-				}
-			}
-			if target < 0 {
-				return ctl, nil // propagate upward
-			}
-			i = target // resume at the label
-			continue
-		}
-	}
-	return control{}, nil
-}
-
-func (in *interp) runNode(n ir.Node) (control, error) {
-	switch x := n.(type) {
-	case *ir.Stmt:
-		return in.execStmt(x)
-	case *ir.If:
-		return in.execIf(x)
-	case *ir.Loop:
-		return in.execLoop(x)
-	}
-	return control{}, nil
-}
-
-func (in *interp) execLoop(l *ir.Loop) (control, error) {
-	if l.BoundsStmt != nil {
-		if _, err := in.execStmt(l.BoundsStmt); err != nil {
-			return control{}, err
-		}
-	}
-	lo, err := in.evalInt(l.Lo)
-	if err != nil {
-		return control{}, err
-	}
-	hi, err := in.evalInt(l.Hi)
-	if err != nil {
-		return control{}, err
-	}
-	step := int64(1)
-	if l.Step != nil {
-		step, err = in.evalInt(l.Step)
-		if err != nil {
-			return control{}, err
-		}
-		if step == 0 {
-			return control{}, fmt.Errorf("sim: zero loop step at line %d", l.Line)
-		}
-	}
-
-	// Vectorized communication covering all iterations of this loop,
-	// performed at loop entry.
-	lp := in.prog.Loops[l]
-	if lp != nil {
-		// A hoisted-communication boundary is a natural coordination point:
-		// no aggregated transfer is in flight, so a consistent checkpoint
-		// needs no message draining.
-		if len(lp.Hoisted) > 0 || l.Parent == nil {
-			in.maybeCheckpoint()
-		}
-		// The loop index ranges over the whole iteration space for the
-		// purpose of the aggregated transfer; set it to lo so affine
-		// evaluation has a defined base.
-		in.indices[l.Index] = lo
-		for _, req := range lp.Hoisted {
-			req := req
-			if err := in.attribute(req.Stmt, func() error {
-				return in.vectorizedComm(req)
-			}); err != nil {
-				return control{}, err
-			}
-		}
-	}
-
-	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
-		in.indices[l.Index] = v
-		in.epoch++
-		ctl, err := in.runNodes(l.Body)
-		if err != nil {
-			return control{}, err
-		}
-		if ctl.kind == ctlGoto {
-			return ctl, nil // escaping goto terminates the loop
-		}
-		if err := in.checkTime(); err != nil {
-			return control{}, err
-		}
-	}
-
-	// Global reduction combines after the loop.
-	if lp != nil {
-		for _, m := range lp.Combines {
-			set := in.patternSet(m.Pattern, nil)
-			in.mach.Reduce(set, int64(in.cfg.Params.ElemBytes))
-		}
-	}
-	return control{}, nil
-}
-
-func (in *interp) execIf(ifn *ir.If) (control, error) {
-	if _, err := in.execStmt(ifn.Cond); err != nil {
-		return control{}, err
-	}
-	c, err := in.eval(ifn.Cond.Cond)
-	if err != nil {
-		return control{}, err
-	}
-	if c != 0 {
-		return in.runNodes(ifn.Then)
-	}
-	return in.runNodes(ifn.Else)
-}
-
-// execStmt performs communication, charges computation, and computes values
-// for one statement instance.
-func (in *interp) execStmt(st *ir.Stmt) (control, error) {
-	if in.profile != nil {
-		var ctl control
-		err := in.attribute(st, func() error {
-			var e error
-			ctl, e = in.execStmtInner(st)
-			return e
-		})
-		return ctl, err
-	}
-	return in.execStmtInner(st)
-}
-
-func (in *interp) execStmtInner(st *ir.Stmt) (control, error) {
-	sp := in.prog.Stmts[st]
-
-	// Per-instance communication.
-	for _, req := range sp.PerInstance {
-		if err := in.instanceComm(req, sp); err != nil {
-			return control{}, err
-		}
-	}
-
-	// Execution set and computation charge.
-	execSet, err := in.execSet(sp)
-	if err != nil {
-		return control{}, err
-	}
-	if sp.Flops > 0 {
-		in.mach.Compute(execSet, float64(sp.Flops)*in.cfg.Params.FlopTime)
-	}
-
-	// Semantics.
-	switch st.Kind {
-	case ir.SAssign:
-		val, err := in.eval(st.Rhs)
-		if err != nil {
-			return control{}, err
-		}
-		if err := in.store(st.Lhs, val); err != nil {
-			return control{}, err
-		}
-	case ir.SIfGoto:
-		c, err := in.eval(st.Cond)
-		if err != nil {
-			return control{}, err
-		}
-		if c != 0 {
-			return control{kind: ctlGoto, label: st.Label}, nil
-		}
-	case ir.SGoto:
-		return control{kind: ctlGoto, label: st.Label}, nil
-	case ir.SRedistribute:
-		if err := in.redistribute(st); err != nil {
-			return control{}, err
-		}
-	case ir.SContinue, ir.SIf, ir.SLoopBounds:
-		// No value semantics here (If predicates are evaluated by execIf).
-	}
-	return control{}, nil
-}
-
-// redistribute changes an array's dynamic mapping, charging an all-to-all.
-func (in *interp) redistribute(st *ir.Stmt) error {
-	v := st.Redist.Array
-	nm, err := dist.DistributeArray(in.grid(), v, st.Redist.Formats)
-	if err != nil {
-		return fmt.Errorf("sim: line %d: %v", st.Line, err)
-	}
-	in.dyn[v] = nm
-	per := v.Size() * int64(in.cfg.Params.ElemBytes) / int64(in.grid().Size())
-	in.mach.AllToAll(dist.AllProcs(in.grid()), per)
-	return in.checkTime()
-}
-
-// ---------------------------------------------------------------------------
-// Execution sets
-
-func (in *interp) execSet(sp *spmd.StmtPlan) (dist.ProcSet, error) {
-	g := in.grid()
-	switch sp.Kind {
-	case spmd.ExecAll:
-		return dist.AllProcs(g), nil
-	case spmd.ExecOwner:
-		return in.ownerSet(sp.OwnerRef)
-	case spmd.ExecPattern:
-		return in.patternSet(sp.Scalar.Pattern, nil), nil
-	case spmd.ExecUnion:
-		return in.unionSet(sp.Stmt.Loop), nil
-	}
-	return dist.AllProcs(g), nil
-}
-
-// ownerSet evaluates the owners of an array reference under the dynamic
-// distribution (plus privatization overrides).
-func (in *interp) ownerSet(ref *ir.Ref) (dist.ProcSet, error) {
-	g := in.grid()
-	v := ref.Var
-	idx := make([]int64, len(ref.Ast.Subs))
-	for k, e := range ref.Ast.Subs {
-		x, err := in.evalInt(e)
-		if err != nil {
-			return dist.ProcSet{}, err
-		}
-		idx[k] = x
-	}
-	if ap := in.prog.Res.Arrays[v]; ap != nil && ir.Encloses(ap.Loop, ref.Stmt.Loop) {
-		return in.privOwnerSet(ap, idx)
-	}
-	am := in.dyn[v]
-	if am == nil {
-		return dist.AllProcs(g), nil
-	}
-	return am.Owner(g, idx), nil
-}
-
-// privOwnerSet computes the owner of a privatized array element: privatized
-// grid dims follow the target reference's owner now; partitioned dims from
-// the privatization axes.
-func (in *interp) privOwnerSet(ap *core.ArrayPrivatization, idx []int64) (dist.ProcSet, error) {
-	g := in.grid()
-	s := dist.AllProcs(g)
-	tgt, err := in.ownerSet(ap.Target)
-	if err != nil {
-		return dist.ProcSet{}, err
-	}
-	for d := 0; d < g.Rank(); d++ {
-		if ap.PrivGrid[d] {
-			if c, ok := tgt.Fixed(d); ok {
-				s = s.WithDim(d, c)
-			}
-		}
-	}
-	for dim, ax := range ap.Axes {
-		if ax.Distributed {
-			s = s.WithDim(ax.GridDim, ax.OwnerDim(idx[dim], g.Shape[ax.GridDim]))
-		}
-	}
-	return s, nil
-}
-
-// patternSet evaluates an owner pattern at the current indices. widen, when
-// non-nil, lists loops whose indices range over a whole aggregated transfer:
-// dimensions varying in them span all coordinates.
-func (in *interp) patternSet(pat dist.OwnerPattern, widen []*ir.Loop) dist.ProcSet {
-	g := in.grid()
-	s := dist.AllProcs(g)
-	for d := range pat.Dims {
-		dp := pat.Dims[d]
-		if dp.Repl {
-			continue
-		}
-		wide := false
-		for _, l := range widen {
-			if dp.Sub.VariesIn(l) {
-				wide = true
-				break
-			}
-		}
-		if wide {
-			continue
-		}
-		pos, err := in.evalAffine(dp.Sub)
-		if err != nil {
-			continue // undefined position: leave the dimension wide
-		}
-		ax := dist.AxisMap{Distributed: true, GridDim: d, Kind: dp.Kind,
-			Offset: dp.Offset, Extent: dp.Extent, Block: dp.Block}
-		s = s.WithDim(d, ax.OwnerDim(pos, g.Shape[d]))
-	}
-	return s
-}
-
-// unionSet computes (and memoizes per iteration) the union of the execution
-// sets of the loop body's owner-driven statements.
-func (in *interp) unionSet(l *ir.Loop) dist.ProcSet {
-	g := in.grid()
-	if l == nil {
-		return dist.AllProcs(g)
-	}
-	if in.unionCache == nil {
-		in.unionCache = map[*ir.Loop]dist.ProcSet{}
-		in.unionEpoch = map[*ir.Loop]int64{}
-	}
-	if e, ok := in.unionEpoch[l]; ok && e == in.epoch {
-		return in.unionCache[l]
-	}
-	inner := map[*ir.Loop]bool{}
-	for _, ll := range in.prog.Res.Prog.Loops {
-		if ll != l && ir.Encloses(l, ll) {
-			inner[ll] = true
-		}
-	}
-	var innerList []*ir.Loop
-	for ll := range inner {
-		innerList = append(innerList, ll)
-	}
-	have := false
-	var u dist.ProcSet
-	for _, st := range in.prog.Res.Prog.Stmts {
-		if st.Kind != ir.SAssign || !ir.Encloses(l, st.Loop) {
-			continue
-		}
-		sp := in.prog.Stmts[st]
-		var s dist.ProcSet
-		switch sp.Kind {
-		case spmd.ExecOwner:
-			s = in.patternSet(in.prog.Res.RefPattern(sp.OwnerRef), innerList)
-		case spmd.ExecPattern:
-			s = in.patternSet(sp.Scalar.Pattern, innerList)
-		default:
-			continue
-		}
-		if !have {
-			u, have = s, true
-		} else {
-			u = u.Union(s)
-		}
-	}
-	if !have {
-		u = dist.AllProcs(g)
-	}
-	in.unionCache[l] = u
-	in.unionEpoch[l] = in.epoch
-	return u
-}
-
-// ---------------------------------------------------------------------------
-// Communication
-
-// instanceComm performs one per-instance communication if the data is not
-// already where the statement executes. Every instance pays the guard cost
-// (ownership tests and runtime calls emitted inside the loop), whether or
-// not a message flows — the penalty message vectorization avoids.
-func (in *interp) instanceComm(req *comm.Requirement, sp *spmd.StmtPlan) error {
-	dst, err := in.execSet(sp)
-	if err != nil {
-		return err
-	}
-	// Communication left inside a loop defeats loop-bound shrinking: every
-	// processor must traverse the iteration space evaluating the ownership
-	// guard, whether or not it communicates.
-	if in.cfg.Params.GuardTime > 0 {
-		in.mach.Compute(dist.AllProcs(in.grid()), in.cfg.Params.GuardTime)
-	}
-	var src dist.ProcSet
-	if req.Use.Var.IsArray() {
-		// Evaluate under the dynamic (possibly redistributed) mapping.
-		src, err = in.ownerSet(req.Use)
-		if err != nil {
-			return err
-		}
-	} else {
-		src = in.patternSet(req.SrcPat, nil)
-	}
-	if src.CoversSet(dst) {
-		return nil
-	}
-	from, single := src.IsSingle()
-	if !single {
-		from = src.Procs()[0]
-	}
-	bytes := int64(in.cfg.Params.ElemBytes)
-	if to, one := dst.IsSingle(); one {
-		in.mach.Send(from, to, bytes)
-	} else {
-		in.mach.Multicast(from, dst, bytes)
-	}
-	return in.checkTime()
-}
-
-// vectorizedComm performs one aggregated communication covering all
-// iterations of the hoisted loops. The transferred volume counts only the
-// loops the reference actually varies in (a pivot column read by every j
-// iteration is sent once, not once per j), and the transfer is skipped
-// entirely when the evaluated source set already covers the destinations
-// (e.g. a block shift that does not cross a processor boundary here).
-func (in *interp) vectorizedComm(req *comm.Requirement) error {
-	trips := int64(1)
-	for _, l := range req.Hoisted {
-		if !refVariesIn(req.Use, l) {
-			continue
-		}
-		t, err := in.tripCount(l)
-		if err != nil {
-			return err
-		}
-		trips *= t
-	}
-	if trips <= 0 {
-		return nil
-	}
-	srcEval := in.patternSet(req.SrcPat, req.Hoisted)
-	dstEval := in.patternSet(req.DstPat, req.Hoisted)
-	if in.vectorizedCovered(req) {
-		return nil
-	}
-	g := in.grid()
-	bytesTotal := trips * int64(in.cfg.Params.ElemBytes)
-
-	switch req.Class {
-	case dist.CommShift:
-		// Only boundary elements cross processors under a block
-		// distribution; everything moves under cyclic.
-		perProc := int64(0)
-		for d := range req.SrcPat.Dims {
-			dp := req.SrcPat.Dims[d]
-			if dp.Repl {
-				continue
-			}
-			delta := req.ShiftDelta(d)
-			if delta == 0 {
-				continue
-			}
-			if delta < 0 {
-				delta = -delta
-			}
-			if dp.Kind == ast.DistBlock {
-				if delta > dp.Block {
-					delta = dp.Block
-				}
-				// Fraction of the aggregated elements near the boundary.
-				share := trips * delta / max64(dp.Extent, 1)
-				perProc += max64(share, delta) * int64(in.cfg.Params.ElemBytes)
-			} else {
-				perProc += bytesTotal / int64(g.Size())
-			}
-		}
-		if perProc == 0 {
-			perProc = int64(in.cfg.Params.ElemBytes)
-		}
-		in.mach.Shift(dist.AllProcs(g), perProc)
-
-	case dist.CommBcast:
-		from := 0
-		if procs := srcEval.Procs(); len(procs) > 0 {
-			from = procs[0]
-		}
-		in.mach.Multicast(from, dstEval, bytesTotal)
-
-	default:
-		in.mach.Exchange(srcEval, dstEval, bytesTotal)
-	}
-	return in.checkTime()
-}
-
-// vectorizedCovered reports whether, at this particular entry of the
-// hoisted nest, the source data already resides wherever the destinations
-// need it — e.g. a block shift whose (invariant) position does not cross a
-// processor boundary here. Dimensions whose positions vary within the
-// hoisted loops are covered only if source and destination are statically
-// identical there.
-func (in *interp) vectorizedCovered(req *comm.Requirement) bool {
-	for d := range req.SrcPat.Dims {
-		s, t := req.SrcPat.Dims[d], req.DstPat.Dims[d]
-		if s.Repl {
-			continue
-		}
-		if t.Repl {
-			return false
-		}
-		// Statically identical determination covers regardless of hoisting.
-		sp := dist.OwnerPattern{Dims: []dist.DimPattern{s}}
-		tp := dist.OwnerPattern{Dims: []dist.DimPattern{t}}
-		if dist.Covers(sp, tp) {
-			continue
-		}
-		varies := false
-		for _, l := range req.Hoisted {
-			if s.Sub.VariesIn(l) || t.Sub.VariesIn(l) {
-				varies = true
-				break
-			}
-		}
-		if varies {
-			return false
-		}
-		// Both positions fixed for this entry: compare owner coordinates.
-		spos, err1 := in.evalAffine(s.Sub)
-		tpos, err2 := in.evalAffine(t.Sub)
-		if err1 != nil || err2 != nil {
-			return false
-		}
-		if s.Kind != t.Kind || s.Block != t.Block || s.Extent != t.Extent {
-			return false
-		}
-		ax := dist.AxisMap{Distributed: true, Kind: s.Kind, Offset: 0,
-			Extent: s.Extent, Block: s.Block}
-		n := in.grid().Shape[d]
-		if ax.OwnerDim(spos+s.Offset, n) != ax.OwnerDim(tpos+t.Offset, n) {
-			return false
-		}
-	}
-	return true
-}
-
-// refVariesIn reports whether a reference denotes different data across
-// iterations of l (scalars are invariant; array refs vary when some
-// subscript does).
-func refVariesIn(u *ir.Ref, l *ir.Loop) bool {
-	if !u.Var.IsArray() {
-		return false
-	}
-	for _, sub := range u.Subs {
-		if sub.VariesIn(l) {
-			return true
-		}
-	}
-	return false
-}
-
-// tripCount evaluates a loop's trip count at the current indices.
-func (in *interp) tripCount(l *ir.Loop) (int64, error) {
-	lo, err := in.evalInt(l.Lo)
-	if err != nil {
-		return 0, err
-	}
-	hi, err := in.evalInt(l.Hi)
-	if err != nil {
-		return 0, err
-	}
-	step := int64(1)
-	if l.Step != nil {
-		step, err = in.evalInt(l.Step)
-		if err != nil {
-			return 0, err
-		}
-	}
-	if step == 0 {
-		return 0, fmt.Errorf("sim: zero step")
-	}
-	n := (hi-lo)/step + 1
-	if n < 0 {
-		n = 0
-	}
-	return n, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// ---------------------------------------------------------------------------
-// Value semantics
-
-func (in *interp) store(ref *ir.Ref, val float64) error {
-	v := ref.Var
-	if !v.IsArray() {
-		if v.Type == ast.Integer {
-			val = math.Round(val)
-		}
-		in.scalars[v] = val
-		return nil
-	}
-	off, err := in.arrayOffset(ref)
-	if err != nil {
-		return err
-	}
-	in.arrays[v][off] = val
-	return nil
-}
-
-func (in *interp) arrayOffset(ref *ir.Ref) (int64, error) {
-	v := ref.Var
-	off := int64(0)
-	stride := int64(1)
-	for k := 0; k < v.Rank(); k++ {
-		x, err := in.evalInt(ref.Ast.Subs[k])
-		if err != nil {
-			return 0, err
-		}
-		if x < 1 || x > v.Dims[k] {
-			return 0, fmt.Errorf("sim: line %d: %s subscript %d out of bounds: %d (extent %d)",
-				ref.Stmt.Line, v.Name, k+1, x, v.Dims[k])
-		}
-		off += (x - 1) * stride
-		stride *= v.Dims[k]
-	}
-	return off, nil
-}
-
-func (in *interp) evalInt(e ast.Expr) (int64, error) {
-	x, err := in.eval(e)
-	if err != nil {
-		return 0, err
-	}
-	return int64(math.Round(x)), nil
-}
-
-// evalAffine evaluates an affine form (falling back to the expression for
-// non-affine subscripts).
-func (in *interp) evalAffine(a ir.Affine) (int64, error) {
-	if a.OK {
-		x := a.Const
-		for _, t := range a.Terms {
-			x += t.Coef * in.indices[t.Loop.Index]
-		}
-		return x, nil
-	}
-	if a.Expr == nil {
-		return 0, fmt.Errorf("sim: undefined pattern position")
-	}
-	return in.evalInt(a.Expr)
-}
-
-func (in *interp) eval(e ast.Expr) (float64, error) {
-	switch x := e.(type) {
-	case *ast.IntConst:
-		return float64(x.Value), nil
-	case *ast.RealConst:
-		return x.Value, nil
-	case *ast.Ref:
-		v := in.prog.Res.Prog.LookupVar(x.Name)
-		if v == nil {
-			return 0, fmt.Errorf("sim: unknown variable %s", x.Name)
-		}
-		if v.IsLoopIndex {
-			return float64(in.indices[v]), nil
-		}
-		if !v.IsArray() {
-			return in.scalars[v], nil
-		}
-		off := int64(0)
-		stride := int64(1)
-		for k := 0; k < v.Rank(); k++ {
-			s, err := in.evalInt(x.Subs[k])
-			if err != nil {
-				return 0, err
-			}
-			if s < 1 || s > v.Dims[k] {
-				return 0, fmt.Errorf("sim: %s subscript %d out of bounds: %d (extent %d)",
-					v.Name, k+1, s, v.Dims[k])
-			}
-			off += (s - 1) * stride
-			stride *= v.Dims[k]
-		}
-		return in.arrays[v][off], nil
-	case *ast.UnaryMinus:
-		s, err := in.eval(x.X)
-		if err != nil {
-			return 0, err
-		}
-		return -s, nil
-	case *ast.Not:
-		s, err := in.eval(x.X)
-		if err != nil {
-			return 0, err
-		}
-		if s == 0 {
-			return 1, nil
-		}
-		return 0, nil
-	case *ast.BinOp:
-		l, err := in.eval(x.L)
-		if err != nil {
-			return 0, err
-		}
-		r, err := in.eval(x.R)
-		if err != nil {
-			return 0, err
-		}
-		return evalBin(x.Op, l, r)
-	case *ast.Call:
-		args := make([]float64, len(x.Args))
-		for k, aexp := range x.Args {
-			v, err := in.eval(aexp)
-			if err != nil {
-				return 0, err
-			}
-			args[k] = v
-		}
-		return evalCall(x.Name, args)
-	}
-	return 0, fmt.Errorf("sim: unsupported expression %T", e)
-}
-
-func evalBin(op ast.Op, l, r float64) (float64, error) {
-	b2f := func(b bool) float64 {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	switch op {
-	case ast.Add:
-		return l + r, nil
-	case ast.Sub:
-		return l - r, nil
-	case ast.Mul:
-		return l * r, nil
-	case ast.Div:
-		return l / r, nil
-	case ast.OpEq:
-		return b2f(l == r), nil
-	case ast.OpNe:
-		return b2f(l != r), nil
-	case ast.OpLt:
-		return b2f(l < r), nil
-	case ast.OpLe:
-		return b2f(l <= r), nil
-	case ast.OpGt:
-		return b2f(l > r), nil
-	case ast.OpGe:
-		return b2f(l >= r), nil
-	case ast.OpAnd:
-		return b2f(l != 0 && r != 0), nil
-	case ast.OpOr:
-		return b2f(l != 0 || r != 0), nil
-	}
-	return 0, fmt.Errorf("sim: bad operator")
-}
-
-func evalCall(name string, args []float64) (float64, error) {
-	switch name {
-	case "abs":
-		return math.Abs(args[0]), nil
-	case "sqrt":
-		return math.Sqrt(args[0]), nil
-	case "exp":
-		return math.Exp(args[0]), nil
-	case "max":
-		best := args[0]
-		for _, a := range args[1:] {
-			if a > best {
-				best = a
-			}
-		}
-		return best, nil
-	case "min":
-		best := args[0]
-		for _, a := range args[1:] {
-			if a < best {
-				best = a
-			}
-		}
-		return best, nil
-	case "mod":
-		return math.Mod(args[0], args[1]), nil
-	}
-	return 0, fmt.Errorf("sim: unknown intrinsic %s", name)
 }

@@ -15,6 +15,7 @@ import (
 	"phpf/internal/ast"
 	"phpf/internal/comm"
 	"phpf/internal/core"
+	"phpf/internal/dist"
 	"phpf/internal/ir"
 )
 
@@ -110,6 +111,13 @@ type Program struct {
 	// under the chosen mapping (see RecoveryClass).
 	Recovery map[*ir.Var]RecoveryClass
 }
+
+// Grid returns the processor grid the program is mapped onto.
+func (p *Program) Grid() *dist.Grid { return p.Res.Mapping.Grid }
+
+// NProcs returns the number of simulated processors the plan targets — the
+// degree of parallelism a faithful executor must provide.
+func (p *Program) NProcs() int { return p.Res.Mapping.Grid.Size() }
 
 // Generate builds the SPMD program for a mapping result.
 func Generate(res *core.Result) *Program {

@@ -15,12 +15,14 @@
 package phpf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"phpf/internal/core"
 	"phpf/internal/dist"
+	"phpf/internal/exec"
 	"phpf/internal/fault"
 	"phpf/internal/ir"
 	"phpf/internal/machine"
@@ -154,6 +156,45 @@ func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
 	})
 }
 
+// ExecConfig configures the concurrent execution backend (see exec.Config):
+// worker count, mailbox depth, and the stall-watchdog timeout. Cancellation
+// and deadlines come from the context passed to RunConcurrent.
+type ExecConfig = exec.Config
+
+// ExecResult is the outcome of a concurrent execution (see exec.Result).
+type ExecResult = exec.Result
+
+// DiffReport is the outcome of a differential sim-vs-exec run (see
+// exec.DiffReport).
+type DiffReport = exec.DiffReport
+
+// RunConcurrent executes the compiled program on the concurrent SPMD
+// backend: one goroutine per simulated processor exchanging real messages
+// over bounded mailboxes, with panic containment, a stall watchdog, and
+// context-based cancellation/deadline enforcement. Fault injection and
+// checkpointing are simulator-only features; use Run for those.
+func (c *Compiled) RunConcurrent(ctx context.Context, cfg ExecConfig) (*ExecResult, error) {
+	return exec.Run(ctx, c.SPMD, cfg)
+}
+
+// DiffBackends runs the program through both the sequential simulator and
+// the concurrent executor and compares numeric results and communication
+// statistics bit-for-bit — the differential oracle that keeps the two
+// backends honest. simCfg must be fault-free with checkpointing off.
+func (c *Compiled) DiffBackends(ctx context.Context, simCfg RunConfig, execCfg ExecConfig) (*DiffReport, error) {
+	d := exec.Differ{
+		Sim: sim.Config{
+			Params:             simCfg.Params,
+			MaxSeconds:         simCfg.MaxSeconds,
+			Profile:            simCfg.Profile,
+			Fault:              simCfg.Fault,
+			CheckpointInterval: simCfg.CheckpointInterval,
+		},
+		Exec: execCfg,
+	}
+	return d.Run(ctx, c.SPMD)
+}
+
 // Diags returns the non-fatal problems the analyses degraded around
 // (skipped directives, alignment fallbacks), with source positions.
 func (c *Compiled) Diags() []Diagnostic { return c.Result.Diags }
@@ -256,6 +297,10 @@ func DGEFASource(n int) string { return programs.DGEFA(n) }
 func APPSPSource(nx, ny, nz, niter int, twoD bool) string {
 	return programs.APPSP(nx, ny, nz, niter, twoD)
 }
+
+// SmoothSource returns the quickstart example's three-point smoothing
+// kernel: the smallest program with real nearest-neighbor communication.
+func SmoothSource(n, niter int) string { return programs.Smooth(n, niter) }
 
 // FigureSource returns one of the paper's figure examples ("figure1",
 // "figure2", "figure4", "figure5", "figure6", "figure7").

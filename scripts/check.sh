@@ -1,10 +1,20 @@
 #!/bin/sh
-# Tier-1 gate: build, vet, and race-detected tests. Mirrors `make check`
-# for environments without make.
+# Tier-1 gate: build, vet, race-detected tests, and a short-budget fuzz
+# smoke over the front end. Mirrors `make check` for environments without
+# make.
 set -eu
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Fuzz smoke: a small budget per front-end target, enough to catch gross
+# regressions in the robustness contracts (never panic, positioned errors)
+# without turning the gate into a fuzzing campaign. Go allows one -fuzz
+# target per invocation, so each runs separately.
+fuzztime="${FUZZTIME:-10s}"
+go test -run=^$ -fuzz=FuzzLex -fuzztime="$fuzztime" ./internal/lexer
+go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
+
 echo "check: OK"

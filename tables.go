@@ -1,6 +1,7 @@
 package phpf
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -273,6 +274,88 @@ func FormatTable3(nx, ny, nz, niter int, rows []Table3Row) string {
 		fmt.Fprintf(&b, "%6d %20s %20s %20s %20s\n", r.Procs,
 			r.OneDNoPriv.String(), r.OneDPriv.String(),
 			r.TwoDNoPartial.String(), r.TwoDPartial.String())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle sweep — concurrent executor vs sequential simulator.
+
+// DiffProgram names one source program for a differential sweep.
+type DiffProgram struct {
+	Name   string
+	Source string
+}
+
+// DiffSweepRow is one differential-oracle verdict: a program compiled under
+// one mapping strategy for one processor count, executed by both backends.
+type DiffSweepRow struct {
+	Program  string
+	Strategy string
+	Procs    int
+	// TrafficMessages counts the concurrent backend's real channel messages.
+	TrafficMessages int64
+	// Mismatches is empty when the backends agreed bit-for-bit.
+	Mismatches []string
+}
+
+// Match reports whether the backends agreed.
+func (r DiffSweepRow) Match() bool { return len(r.Mismatches) == 0 }
+
+// DiffSweep runs the differential oracle over every program, every mapping
+// strategy of Table 1, and every processor count: the concurrent executor's
+// numeric results and communication statistics must equal the sequential
+// simulator's. The rows report each configuration's verdict; an error means
+// a backend failed to run at all.
+func DiffSweep(ctx context.Context, progs []DiffProgram, procs []int) ([]DiffSweepRow, error) {
+	strategies := []struct {
+		name string
+		opts Options
+	}{
+		{"naive", NaiveOptions()},
+		{"producer", ProducerOptions()},
+		{"selected", SelectedOptions()},
+	}
+	var rows []DiffSweepRow
+	for _, p := range progs {
+		for _, s := range strategies {
+			for _, np := range procs {
+				c, err := Compile(p.Source, np, s.opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/p%d: %w", p.Name, s.name, np, err)
+				}
+				rep, err := c.DiffBackends(ctx, RunConfig{}, ExecConfig{})
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/p%d: %w", p.Name, s.name, np, err)
+				}
+				rows = append(rows, DiffSweepRow{
+					Program:         p.Name,
+					Strategy:        s.name,
+					Procs:           np,
+					TrafficMessages: rep.Exec.TrafficMessages,
+					Mismatches:      rep.Mismatches,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatDiffSweep renders the sweep as a verdict matrix.
+func FormatDiffSweep(rows []DiffSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Differential oracle — concurrent executor vs sequential simulator\n")
+	fmt.Fprintf(&b, "%-28s %-10s %6s %10s  verdict\n", "program", "strategy", "procs", "traffic")
+	for _, r := range rows {
+		verdict := "match"
+		if !r.Match() {
+			verdict = fmt.Sprintf("MISMATCH (%d)", len(r.Mismatches))
+		}
+		fmt.Fprintf(&b, "%-28s %-10s %6d %10d  %s\n",
+			r.Program, r.Strategy, r.Procs, r.TrafficMessages, verdict)
+		for _, m := range r.Mismatches {
+			fmt.Fprintf(&b, "    %s\n", m)
+		}
 	}
 	return b.String()
 }
