@@ -6,6 +6,9 @@
 //
 //	phpfc [-p procs] [-opt naive|producer|selected] [-dump mapping|comm|spmd|all] file.f
 //	phpfc -figure figure1          # analyze one of the paper's figures
+//	phpfc -trace file.f            # print the per-pass compile profile
+//	phpfc -dump-after=ssa file.f   # print the unit snapshot after a pass
+//	phpfc -verify file.f           # run the IR/SSA/mapping verifier
 package main
 
 import (
@@ -21,6 +24,9 @@ func main() {
 	level := flag.String("opt", "selected", "optimization level: naive, producer, selected")
 	dump := flag.String("dump", "all", "what to print: mapping, comm, spmd, all")
 	figure := flag.String("figure", "", "analyze a paper figure instead of a file (figure1, figure2, figure4, figure5, figure6, figure7)")
+	trace := flag.Bool("trace", false, "print the per-pass compile profile (wall time, diagnostics, re-runs)")
+	dumpAfter := flag.String("dump-after", "", "print the compilation unit snapshot after the named pass (ir, cfg, ssa, constprop, induction, mapping, analyze)")
+	verify := flag.Bool("verify", false, "run the IR/SSA/mapping verifier between passes")
 	flag.Parse()
 
 	var source string
@@ -57,10 +63,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts.Verify = opts.Verify || *verify
+	opts.DumpAfter = *dumpAfter
+
 	c, err := phpf.Compile(source, *procs, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpfc: %v\n", err)
 		os.Exit(1)
+	}
+	for _, d := range c.Diags() {
+		if d.Severity >= phpf.SeverityWarning {
+			fmt.Fprintf(os.Stderr, "phpfc: %s\n", d)
+		}
+	}
+	if *dumpAfter != "" {
+		snap, ok := c.Profile().Dumps[*dumpAfter]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfc: no pass named %q in the pipeline\n", *dumpAfter)
+			os.Exit(2)
+		}
+		fmt.Printf("=== unit after %s ===\n", *dumpAfter)
+		fmt.Print(snap)
+		return
+	}
+	if *trace {
+		fmt.Println("=== compile profile ===")
+		fmt.Print(c.Profile().String())
+		return
 	}
 	if *dump == "mapping" || *dump == "all" {
 		fmt.Println("=== mapping decisions ===")

@@ -115,7 +115,10 @@ func main() {
 		os.Exit(1)
 	}
 	for _, d := range c.Diags() {
-		fmt.Fprintf(os.Stderr, "phpfrun: warning: %s\n", d)
+		// The diagnostic's own rendering carries its severity and position.
+		if d.Severity >= phpf.SeverityWarning {
+			fmt.Fprintf(os.Stderr, "phpfrun: %s\n", d)
+		}
 	}
 
 	if *backend == "concurrent" {

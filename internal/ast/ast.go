@@ -38,6 +38,7 @@ type Param struct {
 	Name  string
 	Value int64
 	Line  int
+	Col   int
 }
 
 // VarDecl declares one variable, scalar (len(Dims)==0) or array.
@@ -46,6 +47,7 @@ type VarDecl struct {
 	Type Type
 	Dims []Expr // extents; arrays are 1-based, size Dims[i] per dimension
 	Line int
+	Col  int
 }
 
 // IsArray reports whether the declaration has array shape.
@@ -65,6 +67,7 @@ type Assign struct {
 	Lhs  *Ref
 	Rhs  Expr
 	Line int
+	Col  int
 }
 
 // DoLoop is "do v = lo, hi [, step] ... end do". Directives attached to the
@@ -76,6 +79,7 @@ type DoLoop struct {
 	Body     []Stmt
 	Dirs     []LoopDirective
 	Line     int
+	Col      int
 	EndLine  int
 	LabelDoc string // unused placeholder for future labeled-do support
 }
@@ -86,6 +90,7 @@ type If struct {
 	Then []Stmt
 	Else []Stmt
 	Line int
+	Col  int
 }
 
 // IfGoto is the logical IF form "if (cond) goto label".
@@ -93,18 +98,21 @@ type IfGoto struct {
 	Cond  Expr
 	Label int
 	Line  int
+	Col   int
 }
 
 // Goto is an unconditional "goto label".
 type Goto struct {
 	Label int
 	Line  int
+	Col   int
 }
 
 // Continue is a labeled "nnn continue" no-op, the target of GOTOs.
 type Continue struct {
 	Label int
 	Line  int
+	Col   int
 }
 
 // Redistribute is the executable "!hpf$ redistribute A(fmt,...)" directive,
@@ -114,6 +122,7 @@ type Redistribute struct {
 	Array   string
 	Formats []DistFormat
 	Line    int
+	Col     int
 }
 
 func (*Assign) stmtNode()       {}
@@ -145,6 +154,7 @@ type Ref struct {
 	Name string
 	Subs []Expr
 	Line int
+	Col  int
 }
 
 // IntConst is an integer literal.
@@ -229,6 +239,7 @@ type ProcessorsDir struct {
 	Name    string
 	Extents []Expr
 	Line    int
+	Col     int
 }
 
 // DistKind is a per-dimension distribution format.
@@ -261,6 +272,7 @@ type DistributeDir struct {
 	Formats []DistFormat
 	Arrays  []string
 	Line    int
+	Col     int
 }
 
 // AlignSub is one target subscript in an ALIGN directive: either a dummy
@@ -282,6 +294,7 @@ type AlignDir struct {
 	Subs    []AlignSub // target subscripts, one per target dimension
 	Arrays  []string   // arrays being aligned
 	Line    int
+	Col     int
 }
 
 func (*ProcessorsDir) dirNode() {}
@@ -298,6 +311,7 @@ type LoopDirective struct {
 	NoDeps      bool     // NODEPS: no true loop-carried value dependences
 	New         []string // NEW(...) clause: privatizable variables
 	Line        int
+	Col         int
 }
 
 // ---------------------------------------------------------------------------

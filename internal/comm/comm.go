@@ -9,6 +9,8 @@ package comm
 
 import (
 	"fmt"
+
+	"phpf/internal/diag"
 	"sort"
 	"strings"
 
@@ -68,6 +70,10 @@ type Plan struct {
 	// given loop (the outermost hoisted loop), covering all its iterations
 	// in one aggregated communication.
 	AtLoop map[*ir.Loop][]*Requirement
+	// Diags are informational diagnostics about communication placement
+	// (inner-loop communications the vectorizer could not hoist, disabled
+	// vectorization).
+	Diags []diag.Diagnostic
 }
 
 // Analyze builds the communication plan.
@@ -100,8 +106,19 @@ func Analyze(res *core.Result) *Plan {
 				p.AtLoop[outer] = append(p.AtLoop[outer], req)
 			} else {
 				p.ByStmt[st] = append(p.ByStmt[st], req)
+				if st.Loop != nil && !res.Opts.DisableVectorization {
+					p.Diags = append(p.Diags, diag.Infof("comm", diag.CodeInnerComm,
+						u.Var.Name, st.Pos(),
+						"communication for %s stays inside the %s-loop (%s)",
+						u, st.Loop.Index.Name, req.Class))
+				}
 			}
 		}
+	}
+	if res.Opts.DisableVectorization && len(p.Reqs) > 0 {
+		p.Diags = append(p.Diags, diag.Infof("comm", diag.CodeNoVectorize, "",
+			diag.Pos{}, "message vectorization disabled: %d communication(s) kept at their statements",
+			len(p.Reqs)))
 	}
 	return p
 }

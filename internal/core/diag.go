@@ -1,35 +1,16 @@
 package core
 
-import "fmt"
+import "phpf/internal/diag"
 
-// Diagnostic is a structured, non-fatal problem discovered during analysis.
+// Diagnostic is the unified positioned diagnostic type (see internal/diag).
 // Instead of aborting the pipeline on the first issue, the analyses degrade
 // gracefully — an unmappable directive is skipped (the array stays
 // replicated), an invalid alignment candidate falls back to replication —
-// and record here what was given up and why, with the source position.
-type Diagnostic struct {
-	// Line is the source line the problem was found at (0 when unknown).
-	Line int
-	// Stage names the pass that degraded: "mapping", "scalar-mapping".
-	Stage string
-	// Subject is the variable or directive the problem concerns.
-	Subject string
-	// Msg describes the problem and the fallback taken.
-	Msg string
-}
-
-func (d Diagnostic) String() string {
-	loc := ""
-	if d.Line > 0 {
-		loc = fmt.Sprintf("line %d: ", d.Line)
-	}
-	return fmt.Sprintf("%s%s: %s: %s", loc, d.Stage, d.Subject, d.Msg)
-}
+// and record what was given up and why, with the source position.
+type Diagnostic = diag.Diagnostic
 
 // diagf records a graceful-degradation diagnostic on the result.
-func (a *analyzer) diagf(line int, stage, subject, format string, args ...interface{}) {
-	a.res.Diags = append(a.res.Diags, Diagnostic{
-		Line: line, Stage: stage, Subject: subject,
-		Msg: fmt.Sprintf(format, args...),
-	})
+func (a *analyzer) diagf(pos diag.Pos, stage, subject, format string, args ...interface{}) {
+	a.res.Diags = append(a.res.Diags,
+		diag.Warningf(stage, diag.CodeScalarFallback, subject, pos, format, args...))
 }

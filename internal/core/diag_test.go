@@ -42,7 +42,7 @@ end
 		t.Fatal("skipped directive produced no diagnostic")
 	}
 	d := res.Diags[0]
-	if d.Stage != "mapping" || d.Line != 6 {
+	if d.Stage != "mapping" || d.Pos.Line != 6 {
 		t.Errorf("diagnostic = %+v, want mapping stage at line 6", d)
 	}
 	if !strings.Contains(d.String(), "nosuch") {
@@ -103,7 +103,7 @@ end
 	}
 	lines := map[int]bool{}
 	for _, d := range res.Diags {
-		lines[d.Line] = true
+		lines[d.Pos.Line] = true
 	}
 	if !lines[6] || !lines[7] {
 		t.Errorf("diagnostics missing source lines 6 and 7: %v", res.Diags)

@@ -1,61 +1,73 @@
 package core
 
 import (
+	"testing"
+
 	"phpf/internal/ast"
-	"phpf/internal/dataflow"
-	"phpf/internal/dist"
-	"phpf/internal/ir"
-	"phpf/internal/ssa"
+	"phpf/internal/pass"
 )
 
-// BuildAndAnalyze runs the full analysis front end on a parsed program for a
+// Pipeline returns the declared analysis pipeline, ending in the analyze
+// pass which deposits its Result through the returned pointer-pointer. The
+// pass order is: ir, cfg, ssa, constprop, induction, mapping, analyze.
+// Induction rewriting does not rebuild downstream structures inline; it
+// invalidates FactCFG and the manager lazily re-runs cfg/ssa/constprop
+// before analyze (visible in the profile as re-runs).
+func Pipeline(opts Options, out **Result) []pass.Pass {
+	analyze := &pass.Funcs{
+		PassName: "analyze",
+		Needs: []pass.Fact{pass.FactIR, pass.FactSSA, pass.FactConsts,
+			pass.FactMapping},
+		RunFunc: func(u *pass.Unit) error {
+			res := Analyze(u.Prog, u.SSA, u.Consts, u.Mapping, u.Inductions, opts)
+			for _, d := range res.Diags {
+				u.Diag(d)
+			}
+			*out = res
+			return nil
+		},
+	}
+	return []pass.Pass{
+		pass.IRBuild(),
+		pass.CFGBuild(),
+		pass.SSABuild(),
+		pass.ConstProp(),
+		pass.Induction(),
+		pass.Mapping(),
+		analyze,
+	}
+}
+
+// BuildAndAnalyze runs the full analysis pipeline on a parsed program for a
 // given processor count: IR construction, CFG + SSA, constant propagation,
-// induction-variable recognition with closed-form rewriting (followed by an
-// SSA rebuild), directive resolution, and the mapping pass.
+// induction-variable recognition with closed-form rewriting (followed by a
+// lazily scheduled SSA rebuild), directive resolution, and the mapping pass.
 //
 // Directive resolution is lenient: a bad mapping directive does not fail the
 // compilation — the directive is skipped (the affected arrays stay
 // replicated, which is always correct) and the problem is recorded in
 // Result.Diags with its source position. Errors are reserved for programs no
-// mapping can make executable (parse/IR construction failures).
+// mapping can make executable (parse/IR construction failures) and, when the
+// verifier is enabled, internal invariant violations.
+//
+// The unit verifier runs between every pass when Options.Verify is set; it
+// is always on under `go test`, so the full test suite exercises it.
 func BuildAndAnalyze(src *ast.Program, nprocs int, opts Options) (*Result, error) {
-	p, err := ir.Build(src)
+	var res *Result
+	mgr, err := pass.NewManager(Pipeline(opts, &res)...)
 	if err != nil {
 		return nil, err
 	}
-	g, err := ir.BuildCFG(p)
-	if err != nil {
-		return nil, err
+	mgr.Verify = opts.Verify || testing.Testing()
+	mgr.DumpAfter = opts.DumpAfter
+	u := &pass.Unit{Source: src, NProcs: nprocs, Options: opts}
+	runErr := mgr.Run(u)
+	if runErr != nil {
+		return nil, runErr
 	}
-	s := ssa.Build(p, g)
-	cp := dataflow.PropagateConstants(s)
-
-	ivs := dataflow.FindInductionVars(p, s, cp)
-	if len(ivs) > 0 {
-		dataflow.ApplyInductionRewrites(p, s, ivs)
-		// Expression rewriting invalidates the SSA use links; rebuild.
-		g, err = ir.BuildCFG(p)
-		if err != nil {
-			return nil, err
-		}
-		s = ssa.Build(p, g)
-		cp = dataflow.PropagateConstants(s)
-	}
-
-	m, probs, err := dist.ResolveLenient(p, nprocs)
-	if err != nil {
-		return nil, err
-	}
-	res := Analyze(p, s, cp, m, ivs, opts)
-	if len(probs) > 0 {
-		// Mapping problems precede any scalar-mapping diagnostics Analyze
-		// recorded, in source order.
-		diags := make([]Diagnostic, 0, len(probs)+len(res.Diags))
-		for _, pr := range probs {
-			diags = append(diags, Diagnostic{Line: pr.Line, Stage: "mapping",
-				Subject: "directive", Msg: pr.Msg})
-		}
-		res.Diags = append(diags, res.Diags...)
-	}
+	// Unit.Diags has every pass's diagnostics in emission order (mapping
+	// problems precede the analyze pass's scalar-mapping diagnostics).
+	res.Diags = u.Diags
+	res.Profile = mgr.Profile()
 	return res, nil
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"phpf/internal/parser"
+)
+
+func analyzeSrc(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	ap, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := BuildAndAnalyze(ap, 4, opts)
+	if err != nil {
+		t.Fatalf("BuildAndAnalyze: %v", err)
+	}
+	return res
+}
+
+// TestInductionRebuildExactlyOnce is the regression test for the silent
+// double-rebuild: after induction rewriting, cfg/ssa/constprop must be
+// rebuilt exactly once — by the manager, lazily, before analyze — and the
+// rebuild must be visible in the profile.
+func TestInductionRebuildExactlyOnce(t *testing.T) {
+	src := `
+program t
+parameter n = 16
+real a(n)
+integer i, k
+!hpf$ distribute (block) :: a
+k = 0
+do i = 1, n
+  k = k + 1
+  a(k) = 1.0
+end do
+end
+`
+	res := analyzeSrc(t, src, DefaultOptions())
+	if len(res.Inductions) == 0 {
+		t.Fatal("no induction variable recognized; test program is broken")
+	}
+	if res.Profile == nil {
+		t.Fatal("no compile profile on the result")
+	}
+	for _, name := range []string{"cfg", "ssa", "constprop"} {
+		if got := res.Profile.Runs(name); got != 2 {
+			t.Errorf("%s ran %d times, want exactly 2 (initial + one post-rewrite rebuild)",
+				name, got)
+		}
+	}
+	for _, name := range []string{"ir", "induction", "mapping", "analyze"} {
+		if got := res.Profile.Runs(name); got != 1 {
+			t.Errorf("%s ran %d times, want 1", name, got)
+		}
+	}
+	// The analysis must be built over the rebuilt SSA, not a stale one.
+	if res.SSA.Prog != res.Prog {
+		t.Error("result SSA not over the result program")
+	}
+}
+
+// TestNoInductionNoRebuild: without induction rewrites every pass runs once.
+func TestNoInductionNoRebuild(t *testing.T) {
+	src := `
+program t
+parameter n = 16
+real a(n)
+real x
+integer i
+!hpf$ distribute (block) :: a
+do i = 1, n
+  x = a(i)
+  a(i) = x + 1.0
+end do
+end
+`
+	res := analyzeSrc(t, src, DefaultOptions())
+	for _, name := range []string{"ir", "cfg", "ssa", "constprop", "induction", "mapping", "analyze"} {
+		if got := res.Profile.Runs(name); got != 1 {
+			t.Errorf("%s ran %d times, want 1", name, got)
+		}
+	}
+}
+
+// TestDumpAfterOption: Options.DumpAfter captures the snapshot in the
+// profile, and two compilations agree byte for byte.
+func TestDumpAfterOption(t *testing.T) {
+	src := `
+program t
+parameter n = 16
+real a(n)
+integer i
+!hpf$ distribute (block) :: a
+do i = 1, n
+  a(i) = 1.0
+end do
+end
+`
+	opts := DefaultOptions()
+	opts.DumpAfter = "ssa"
+	r1 := analyzeSrc(t, src, opts)
+	r2 := analyzeSrc(t, src, opts)
+	d1, ok := r1.Profile.Dumps["ssa"]
+	if !ok {
+		t.Fatal("DumpAfter=ssa captured no snapshot")
+	}
+	if !strings.Contains(d1, "== ssa ==") {
+		t.Errorf("snapshot missing ssa section:\n%s", d1)
+	}
+	if d2 := r2.Profile.Dumps["ssa"]; d1 != d2 {
+		t.Errorf("snapshot not byte-stable across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", d1, d2)
+	}
+}

@@ -61,7 +61,7 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 		// Always align with a partitioned producer reference if one exists.
 		if prod := a.selectProducer(st); prod != nil {
 			if pat := a.refPattern(prod); !patternValid(pat) {
-				a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+				a.diagf(st.Pos(), "scalar-mapping", def.Var.Name,
 					"producer candidate %s has an invalid owner pattern; falling back to replication", prod)
 			} else if lp := a.alignmentLoop(def, prod); lp != nil {
 				m.Kind = ScalarAligned
@@ -73,7 +73,7 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 				a.propagateToSiblings(def, m)
 				return m
 			} else {
-				a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+				a.diagf(st.Pos(), "scalar-mapping", def.Var.Name,
 					"no loop level admits alignment with producer %s; falling back to replication", prod)
 			}
 		}
@@ -117,7 +117,7 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 
 	if target != nil {
 		if pat := a.refPattern(target); !patternValid(pat) {
-			a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+			a.diagf(st.Pos(), "scalar-mapping", def.Var.Name,
 				"alignment candidate %s has an invalid owner pattern; falling back to replication", target)
 		} else if lp := a.alignmentLoop(def, target); lp != nil {
 			m.Kind = ScalarAligned
@@ -129,7 +129,7 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 			a.propagateToSiblings(def, m)
 			return m
 		} else {
-			a.diagf(st.Line, "scalar-mapping", def.Var.Name,
+			a.diagf(st.Pos(), "scalar-mapping", def.Var.Name,
 				"no loop level admits alignment with %s; falling back to replication", target)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"phpf/internal/dataflow"
 	"phpf/internal/dist"
 	"phpf/internal/ir"
+	"phpf/internal/pass"
 	"phpf/internal/ssa"
 )
 
@@ -78,6 +79,15 @@ type Options struct {
 	// of that loop, even provably independent ones (ablation: shows what
 	// the Banerjee-style test buys, e.g. DGEFA's pivot-column broadcast).
 	DisableDependenceTest bool
+
+	// Verify runs the IR/SSA/mapping verifier between every pipeline pass
+	// and fails compilation on any invariant violation. Always on under
+	// `go test`; opt in here for production runs.
+	Verify bool
+	// DumpAfter names a pipeline pass ("ir", "cfg", "ssa", "constprop",
+	// "induction", "mapping", "analyze") whose post-state snapshot is
+	// captured into Result.Profile.Dumps (empty: no snapshots).
+	DumpAfter string
 }
 
 // DefaultOptions enables everything (the "selected alignment" compiler).
@@ -252,6 +262,10 @@ type Result struct {
 	// Diags lists the non-fatal problems the analyses degraded around
 	// (skipped directives, alignment fallbacks), with source positions.
 	Diags []Diagnostic
+
+	// Profile is the per-pass instrumentation of the pipeline run that
+	// produced this result (nil when Analyze was called directly).
+	Profile *pass.CompileProfile
 }
 
 // ScalarOfStmt returns the mapping of the scalar defined by an assignment

@@ -1,0 +1,32 @@
+package diag
+
+// Stable diagnostic codes. E-codes are fatal, W-codes are graceful
+// degradations (a correct fallback was taken), I-codes are informational.
+// Codes are part of the tool-facing contract (tests and downstream scripts
+// may match on them); change messages freely, codes never.
+const (
+	// CodeLex: lexical error (unexpected character, malformed literal).
+	CodeLex = "E001"
+	// CodeParse: syntax error.
+	CodeParse = "E002"
+	// CodeIRBuild: semantic error during IR lowering (undeclared variable,
+	// rank mismatch, bad GOTO target).
+	CodeIRBuild = "E003"
+	// CodeVerify: an inter-pass verifier invariant failed — a compiler bug,
+	// not a user error.
+	CodeVerify = "E004"
+
+	// CodeDirective: a mapping directive was skipped; the affected arrays
+	// stay replicated.
+	CodeDirective = "W101"
+	// CodeScalarFallback: a scalar alignment candidate was rejected and the
+	// definition fell back to replication.
+	CodeScalarFallback = "W102"
+
+	// CodeInnerComm: a communication requirement could not be vectorized
+	// and executes per statement instance.
+	CodeInnerComm = "I201"
+	// CodeNoVectorize: message vectorization disabled by options; every
+	// communication stays at its statement.
+	CodeNoVectorize = "I202"
+)

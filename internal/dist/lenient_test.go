@@ -51,10 +51,10 @@ func TestResolveLenientSkipsBadDirectives(t *testing.T) {
 	if len(probs) != 2 {
 		t.Fatalf("want 2 problems, got %d: %v", len(probs), probs)
 	}
-	if probs[0].Line != 6 || !strings.Contains(probs[0].Msg, "nosuch") {
+	if probs[0].Pos.Line != 6 || !strings.Contains(probs[0].Msg, "nosuch") {
 		t.Errorf("problem 0 = %v, want undeclared 'nosuch' at line 6", probs[0])
 	}
-	if probs[1].Line != 8 || !strings.Contains(probs[1].Msg, "missing") {
+	if probs[1].Pos.Line != 8 || !strings.Contains(probs[1].Msg, "missing") {
 		t.Errorf("problem 1 = %v, want undeclared target 'missing' at line 8", probs[1])
 	}
 	for v, am := range m.Arrays {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"phpf/internal/ast"
+	"phpf/internal/diag"
 	"phpf/internal/ir"
 )
 
@@ -167,15 +168,9 @@ func (m *ArrayMap) String() string {
 	return s
 }
 
-// Problem is a non-fatal mapping issue found during lenient resolution: the
-// offending directive was skipped and the affected arrays default to
-// replication.
-type Problem struct {
-	Line int
-	Msg  string
-}
-
-func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+// A skipped directive is reported as a diag.Diagnostic with stage "mapping"
+// and code diag.CodeDirective: the offending directive was skipped and the
+// affected arrays default to replication.
 
 // Resolve interprets the program's directives for nprocs processors.
 //
@@ -192,27 +187,28 @@ func Resolve(p *ir.Program, nprocs int) (*Mapping, error) {
 }
 
 // ResolveLenient is Resolve in graceful-degradation mode: bad directives are
-// skipped and recorded as Problems instead of aborting, and every array a
+// skipped and recorded as warning diagnostics instead of aborting, and every array a
 // skipped directive would have mapped falls back to replication (always a
 // correct, if slower, mapping). The error return covers only conditions no
 // mapping can be built under (nprocs < 1).
-func ResolveLenient(p *ir.Program, nprocs int) (*Mapping, []Problem, error) {
+func ResolveLenient(p *ir.Program, nprocs int) (*Mapping, []diag.Diagnostic, error) {
 	return resolve(p, nprocs, true)
 }
 
-func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, error) {
+func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []diag.Diagnostic, error) {
 	if nprocs < 1 {
 		return nil, nil, fmt.Errorf("dist: nprocs must be >= 1, got %d", nprocs)
 	}
-	var probs []Problem
+	var probs []diag.Diagnostic
 	// report returns a non-nil error in strict mode (caller aborts) and
-	// records a Problem in lenient mode (caller skips the directive).
-	report := func(line int, format string, args ...interface{}) error {
+	// records a warning diagnostic in lenient mode (caller skips the
+	// directive).
+	report := func(pos diag.Pos, subject, format string, args ...interface{}) error {
 		if lenient {
-			probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+			probs = append(probs, diag.Warningf("mapping", diag.CodeDirective, subject, pos, format, args...))
 			return nil
 		}
-		return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+		return diag.Errorf("mapping", diag.CodeDirective, pos, format, args...)
 	}
 	rank := 0
 	for _, d := range p.Dirs {
@@ -249,33 +245,33 @@ func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, erro
 		for _, name := range dd.Arrays {
 			v := p.LookupVar(name)
 			if v == nil {
-				if err := report(dd.Line, "distribute of undeclared %s", name); err != nil {
+				if err := report(diag.Pos{Line: dd.Line, Col: dd.Col}, name, "distribute of undeclared %s", name); err != nil {
 					return nil, nil, err
 				}
 				continue
 			}
 			if !v.IsArray() {
-				if err := report(dd.Line, "distribute of scalar %s", name); err != nil {
+				if err := report(diag.Pos{Line: dd.Line, Col: dd.Col}, name, "distribute of scalar %s", name); err != nil {
 					return nil, nil, err
 				}
 				continue
 			}
 			if len(dd.Formats) != v.Rank() {
-				if err := report(dd.Line, "distribute of %s: %d formats for rank %d",
+				if err := report(diag.Pos{Line: dd.Line, Col: dd.Col}, name, "distribute of %s: %d formats for rank %d",
 					name, len(dd.Formats), v.Rank()); err != nil {
 					return nil, nil, err
 				}
 				continue
 			}
 			if _, dup := m.Arrays[v]; dup {
-				if err := report(dd.Line, "%s mapped twice", name); err != nil {
+				if err := report(diag.Pos{Line: dd.Line, Col: dd.Col}, name, "%s mapped twice", name); err != nil {
 					return nil, nil, err
 				}
 				continue
 			}
 			am, derr := DistributeArray(grid, v, dd.Formats)
 			if derr != nil {
-				if err := report(dd.Line, "%v", derr); err != nil {
+				if err := report(diag.Pos{Line: dd.Line, Col: dd.Col}, name, "%v", derr); err != nil {
 					return nil, nil, err
 				}
 				continue
@@ -298,7 +294,7 @@ func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, erro
 		for _, name := range ad.Arrays {
 			v := p.LookupVar(name)
 			if v == nil {
-				if err := report(ad.Line, "align of undeclared %s", name); err != nil {
+				if err := report(diag.Pos{Line: ad.Line, Col: ad.Col}, name, "align of undeclared %s", name); err != nil {
 					return nil, nil, err
 				}
 				continue
@@ -312,7 +308,7 @@ func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, erro
 		for _, w := range work {
 			target := p.LookupVar(w.dir.Target)
 			if target == nil {
-				if err := report(w.dir.Line, "align target %s undeclared", w.dir.Target); err != nil {
+				if err := report(diag.Pos{Line: w.dir.Line, Col: w.dir.Col}, w.array.Name, "align target %s undeclared", w.dir.Target); err != nil {
 					return nil, nil, err
 				}
 				progress = true
@@ -325,14 +321,14 @@ func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, erro
 			}
 			am, aerr := AlignArray(grid, w.array, w.dir, target, tm)
 			if aerr != nil {
-				if err := report(w.dir.Line, "%v", aerr); err != nil {
+				if err := report(diag.Pos{Line: w.dir.Line, Col: w.dir.Col}, w.array.Name, "%v", aerr); err != nil {
 					return nil, nil, err
 				}
 				progress = true
 				continue
 			}
 			if _, dup := m.Arrays[w.array]; dup {
-				if err := report(w.dir.Line, "%s mapped twice", w.array.Name); err != nil {
+				if err := report(diag.Pos{Line: w.dir.Line, Col: w.dir.Col}, w.array.Name, "%s mapped twice", w.array.Name); err != nil {
 					return nil, nil, err
 				}
 				progress = true
@@ -342,15 +338,16 @@ func resolve(p *ir.Program, nprocs int, lenient bool) (*Mapping, []Problem, erro
 			progress = true
 		}
 		if !progress {
-			if err := report(next[0].dir.Line, "alignment chain for %s cannot be resolved",
-				next[0].array.Name); err != nil {
+			if err := report(diag.Pos{Line: next[0].dir.Line, Col: next[0].dir.Col}, next[0].array.Name,
+				"alignment chain for %s cannot be resolved", next[0].array.Name); err != nil {
 				return nil, nil, err
 			}
 			// Lenient: abandon the whole stuck chain; those arrays stay
 			// replicated. Record the rest so nothing is silently dropped.
 			for _, w := range next[1:] {
-				probs = append(probs, Problem{Line: w.dir.Line,
-					Msg: fmt.Sprintf("alignment chain for %s cannot be resolved", w.array.Name)})
+				probs = append(probs, diag.Warningf("mapping", diag.CodeDirective, w.array.Name,
+					diag.Pos{Line: w.dir.Line, Col: w.dir.Col},
+					"alignment chain for %s cannot be resolved", w.array.Name))
 			}
 			next = nil
 		}

@@ -9,9 +9,8 @@
 package ir
 
 import (
-	"fmt"
-
 	"phpf/internal/ast"
+	"phpf/internal/diag"
 )
 
 // Var is a program variable (scalar or array).
@@ -117,6 +116,7 @@ type Stmt struct {
 	ID   int
 	Kind StmtKind
 	Line int
+	Col  int // 1-based source column (0 when unknown)
 
 	Lhs  *Ref     // SAssign: the definition
 	Rhs  ast.Expr // SAssign
@@ -192,16 +192,16 @@ type Program struct {
 // LookupVar returns the variable named name, or nil.
 func (p *Program) LookupVar(name string) *Var { return p.Vars[name] }
 
-// buildError is an IR construction error.
-type buildError struct {
-	Line int
-	Msg  string
+// Pos returns the statement's source position.
+func (s *Stmt) Pos() diag.Pos { return diag.Pos{Line: s.Line, Col: s.Col} }
+
+// errf builds a fatal, positioned IR-construction diagnostic.
+func errf(line int, format string, args ...any) error {
+	return errfAt(diag.Pos{Line: line}, format, args...)
 }
 
-func (e *buildError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
-
-func errf(line int, format string, args ...any) error {
-	return &buildError{Line: line, Msg: fmt.Sprintf(format, args...)}
+func errfAt(pos diag.Pos, format string, args ...any) error {
+	return diag.Errorf("ir", diag.CodeIRBuild, pos, format, args...)
 }
 
 type builder struct {
@@ -231,16 +231,16 @@ func Build(src *ast.Program) (*Program, error) {
 	}
 	for _, pa := range src.Params {
 		if _, dup := b.prog.Params[pa.Name]; dup {
-			return nil, errf(pa.Line, "duplicate parameter %s", pa.Name)
+			return nil, errfAt(diag.Pos{Line: pa.Line, Col: pa.Col}, "duplicate parameter %s", pa.Name)
 		}
 		b.prog.Params[pa.Name] = pa.Value
 	}
 	for _, d := range src.Decls {
 		if _, dup := b.prog.Vars[d.Name]; dup {
-			return nil, errf(d.Line, "duplicate declaration of %s", d.Name)
+			return nil, errfAt(diag.Pos{Line: d.Line, Col: d.Col}, "duplicate declaration of %s", d.Name)
 		}
 		if _, isParam := b.prog.Params[d.Name]; isParam {
-			return nil, errf(d.Line, "%s already declared as parameter", d.Name)
+			return nil, errfAt(diag.Pos{Line: d.Line, Col: d.Col}, "%s already declared as parameter", d.Name)
 		}
 		v := &Var{Name: d.Name, Type: d.Type, DefLoops: map[*Loop]bool{}}
 		for _, de := range d.Dims {
@@ -323,8 +323,8 @@ func (b *builder) buildStmts(stmts []ast.Stmt, loop *Loop) ([]Node, error) {
 	return out, nil
 }
 
-func (b *builder) newStmt(kind StmtKind, loop *Loop, line int) *Stmt {
-	s := &Stmt{ID: len(b.prog.Stmts), Kind: kind, Loop: loop, Line: line}
+func (b *builder) newStmt(kind StmtKind, loop *Loop, line, col int) *Stmt {
+	s := &Stmt{ID: len(b.prog.Stmts), Kind: kind, Loop: loop, Line: line, Col: col}
 	b.prog.Stmts = append(b.prog.Stmts, s)
 	return s
 }
@@ -332,7 +332,7 @@ func (b *builder) newStmt(kind StmtKind, loop *Loop, line int) *Stmt {
 func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 	switch x := s.(type) {
 	case *ast.Assign:
-		st := b.newStmt(SAssign, loop, x.Line)
+		st := b.newStmt(SAssign, loop, x.Line, x.Col)
 		lhs, err := b.buildRef(x.Lhs, st, true, nil)
 		if err != nil {
 			return nil, err
@@ -396,7 +396,7 @@ func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 		// bound must be available on every processor).
 		if b.boundsReferenceScalars(x.Lo) || b.boundsReferenceScalars(x.Hi) ||
 			(x.Step != nil && b.boundsReferenceScalars(x.Step)) {
-			bst := b.newStmt(SLoopBounds, loop, x.Line)
+			bst := b.newStmt(SLoopBounds, loop, x.Line, x.Col)
 			lp.BoundsStmt = bst
 			lp.Lo, err = b.rewriteExpr(x.Lo, bst, nil, x.Line)
 			if err != nil {
@@ -437,7 +437,7 @@ func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 		return lp, nil
 
 	case *ast.If:
-		st := b.newStmt(SIf, loop, x.Line)
+		st := b.newStmt(SIf, loop, x.Line, x.Col)
 		cond, err := b.rewriteExpr(x.Cond, st, nil, x.Line)
 		if err != nil {
 			return nil, err
@@ -459,7 +459,7 @@ func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 		return ifn, nil
 
 	case *ast.IfGoto:
-		st := b.newStmt(SIfGoto, loop, x.Line)
+		st := b.newStmt(SIfGoto, loop, x.Line, x.Col)
 		cond, err := b.rewriteExpr(x.Cond, st, nil, x.Line)
 		if err != nil {
 			return nil, err
@@ -471,7 +471,7 @@ func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 		return st, nil
 
 	case *ast.Goto:
-		st := b.newStmt(SGoto, loop, x.Line)
+		st := b.newStmt(SGoto, loop, x.Line, x.Col)
 		st.Label = x.Label
 		b.gotos = append(b.gotos, gotoSite{label: x.Label, line: x.Line, loop: loop})
 		return st, nil
@@ -481,7 +481,7 @@ func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 			return nil, errf(x.Line, "duplicate label %d", x.Label)
 		}
 		b.labels[x.Label] = true
-		st := b.newStmt(SContinue, loop, x.Line)
+		st := b.newStmt(SContinue, loop, x.Line, x.Col)
 		st.Label = x.Label
 		return st, nil
 
@@ -497,7 +497,7 @@ func (b *builder) buildStmt(s ast.Stmt, loop *Loop) (Node, error) {
 			return nil, errf(x.Line, "redistribute of %s: %d formats for rank %d",
 				x.Array, len(x.Formats), v.Rank())
 		}
-		st := b.newStmt(SRedistribute, loop, x.Line)
+		st := b.newStmt(SRedistribute, loop, x.Line, x.Col)
 		st.Redist = &Redist{Array: v, Formats: x.Formats}
 		return st, nil
 	}
@@ -642,20 +642,26 @@ func (b *builder) buildRef(a *ast.Ref, st *Stmt, isDef bool, encl *Ref) (*Ref, e
 }
 
 func (b *builder) buildRefIn(a *ast.Ref, st *Stmt, isDef bool, encl *Ref, line int) (*Ref, error) {
+	// Prefer the reference's own token position; fall back to the
+	// statement line for synthesized references.
+	pos := diag.Pos{Line: a.Line, Col: a.Col}
+	if pos.Line == 0 {
+		pos = diag.Pos{Line: line}
+	}
 	v, ok := b.prog.Vars[a.Name]
 	if !ok {
-		return nil, errf(line, "undeclared variable %s", a.Name)
+		return nil, errfAt(pos, "undeclared variable %s", a.Name)
 	}
 	if len(a.Subs) > 0 && !v.IsArray() {
-		return nil, errf(line, "scalar %s used with subscripts", a.Name)
+		return nil, errfAt(pos, "scalar %s used with subscripts", a.Name)
 	}
 	if v.IsArray() && len(a.Subs) != v.Rank() {
-		return nil, errf(line, "array %s has rank %d, referenced with %d subscripts",
+		return nil, errfAt(pos, "array %s has rank %d, referenced with %d subscripts",
 			a.Name, v.Rank(), len(a.Subs))
 	}
 	if v.IsLoopIndex {
 		if isDef {
-			return nil, errf(line, "assignment to loop index %s", a.Name)
+			return nil, errfAt(pos, "assignment to loop index %s", a.Name)
 		}
 		// Loop index values are implicitly known to every processor
 		// executing the iteration; they are not tracked as references.
@@ -671,7 +677,7 @@ func (b *builder) buildRefIn(a *ast.Ref, st *Stmt, isDef bool, encl *Ref, line i
 	}
 	b.prog.Refs = append(b.prog.Refs, r)
 	// Rewrite subscripts (registering their refs as uses nested under r).
-	na := &ast.Ref{Name: a.Name, Line: a.Line}
+	na := &ast.Ref{Name: a.Name, Line: a.Line, Col: a.Col}
 	for _, sub := range a.Subs {
 		rs, err := b.rewriteExpr(sub, st, r, line)
 		if err != nil {

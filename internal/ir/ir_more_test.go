@@ -169,7 +169,7 @@ func TestRefString(t *testing.T) {
 
 func TestBuildErrorMessage(t *testing.T) {
 	err := buildErr(t, "program t\nq = 1\nend\n")
-	if err.Error() != "line 2: undeclared variable q" {
+	if err.Error() != "2:1: error: ir: undeclared variable q [E003]" {
 		t.Errorf("error = %q", err.Error())
 	}
 }

@@ -29,8 +29,8 @@ func FuzzLex(f *testing.F) {
 			if !errors.As(err, &le) {
 				t.Fatalf("scan error is not a *lexer.Error: %T %v", err, err)
 			}
-			if le.Line < 1 || le.Col < 1 {
-				t.Fatalf("error position %d:%d not positive: %v", le.Line, le.Col, le)
+			if le.Pos.Line < 1 || le.Pos.Col < 1 {
+				t.Fatalf("error position %s not positive: %v", le.Pos, le)
 			}
 			return
 		}

@@ -1,18 +1,15 @@
 package lexer
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
+
+	"phpf/internal/diag"
 )
 
-// Error describes a lexical error with its source position.
-type Error struct {
-	Line, Col int
-	Msg       string
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+// Error is a lexical error: a positioned diagnostic with stage "lex" and
+// code diag.CodeLex.
+type Error = diag.Diagnostic
 
 // Lexer scans source text into tokens.
 type Lexer struct {
@@ -79,7 +76,7 @@ func (lx *Lexer) advance() byte {
 }
 
 func (lx *Lexer) errorf(line, col int, format string, args ...any) error {
-	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	return diag.Errorf("lex", diag.CodeLex, diag.Pos{Line: line, Col: col}, format, args...)
 }
 
 // Next returns the next token.

@@ -186,8 +186,8 @@ func TestScanErrorUnexpectedChar(t *testing.T) {
 	if !ok {
 		t.Fatalf("error type %T, want *Error", err)
 	}
-	if le.Line != 1 || le.Col != 5 {
-		t.Errorf("error at %d:%d, want 1:5", le.Line, le.Col)
+	if le.Pos.Line != 1 || le.Pos.Col != 5 {
+		t.Errorf("error at %s, want 1:5", le.Pos)
 	}
 }
 

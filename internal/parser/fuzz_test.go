@@ -4,13 +4,12 @@ import (
 	"errors"
 	"testing"
 
-	"phpf/internal/lexer"
 	"phpf/internal/programs"
 )
 
 // FuzzParse asserts the parser's robustness contract on arbitrary input: it
-// never panics, and every rejection is a position-bearing *parser.Error or
-// *lexer.Error (line >= 1), never a bare fmt error.
+// never panics, and every rejection is a position-bearing *diag.Diagnostic
+// (line >= 1) from the lexer or parser, never a bare fmt error.
 func FuzzParse(f *testing.F) {
 	f.Add(programs.TOMCATV(17, 2))
 	f.Add(programs.DGEFA(16))
@@ -28,19 +27,15 @@ func FuzzParse(f *testing.F) {
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {
-			var pe *Error
-			var le *lexer.Error
-			switch {
-			case errors.As(err, &pe):
-				if pe.Line < 1 {
-					t.Fatalf("parser error with non-positive line: %v", pe)
-				}
-			case errors.As(err, &le):
-				if le.Line < 1 {
-					t.Fatalf("lexer error with non-positive line: %v", le)
-				}
-			default:
-				t.Fatalf("parse error is neither *parser.Error nor *lexer.Error: %T %v", err, err)
+			var de *Error // == *lexer.Error == *diag.Diagnostic
+			if !errors.As(err, &de) {
+				t.Fatalf("parse error is not a positioned *diag.Diagnostic: %T %v", err, err)
+			}
+			if de.Pos.Line < 1 {
+				t.Fatalf("front-end error with non-positive line: %v", de)
+			}
+			if de.Stage != "lex" && de.Stage != "parse" {
+				t.Fatalf("front-end error with stage %q, want lex or parse: %v", de.Stage, de)
 			}
 			return
 		}

@@ -25,20 +25,16 @@
 package parser
 
 import (
-	"fmt"
 	"strconv"
 
 	"phpf/internal/ast"
+	"phpf/internal/diag"
 	"phpf/internal/lexer"
 )
 
-// Error is a parse error with position information.
-type Error struct {
-	Line, Col int
-	Msg       string
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+// Error is a parse error: a positioned diagnostic with stage "parse" and
+// code diag.CodeParse.
+type Error = diag.Diagnostic
 
 type parser struct {
 	toks []lexer.Token
@@ -105,7 +101,7 @@ func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
 
 func (p *parser) errorf(format string, args ...any) error {
 	t := p.peek()
-	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+	return diag.Errorf("parse", diag.CodeParse, diag.Pos{Line: t.Line, Col: t.Col}, format, args...)
 }
 
 func (p *parser) skipNewlines() {
@@ -187,8 +183,9 @@ body:
 		return nil, p.errorf("unexpected input after 'end'")
 	}
 	if len(p.pendingLoopDirs) > 0 {
-		return nil, &Error{Line: p.pendingLoopDirs[0].Line,
-			Msg: "independent/nodeps directive not followed by a do loop"}
+		d := p.pendingLoopDirs[0]
+		return nil, diag.Errorf("parse", diag.CodeParse, diag.Pos{Line: d.Line, Col: d.Col},
+			"independent/nodeps directive not followed by a do loop")
 	}
 	return prog, nil
 }
@@ -224,7 +221,7 @@ func (p *parser) parseParameter() (*ast.Param, error) {
 	if err := p.expectNewline(); err != nil {
 		return nil, err
 	}
-	return &ast.Param{Name: name.Text, Value: v, Line: kw.Line}, nil
+	return &ast.Param{Name: name.Text, Value: v, Line: kw.Line, Col: kw.Col}, nil
 }
 
 func (p *parser) parseVarDecl() ([]*ast.VarDecl, error) {
@@ -239,7 +236,7 @@ func (p *parser) parseVarDecl() ([]*ast.VarDecl, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := &ast.VarDecl{Name: name.Text, Type: ty, Line: name.Line}
+		d := &ast.VarDecl{Name: name.Text, Type: ty, Line: name.Line, Col: name.Col}
 		if p.accept(lexer.LParen) {
 			for {
 				e, err := p.parseExpr()
@@ -273,11 +270,11 @@ func (p *parser) parseDeclDirective() (ast.Directive, error) {
 	hpf := p.next() // !hpf$
 	switch p.peek().Kind {
 	case lexer.KwProcessors:
-		return p.parseProcessors(hpf.Line)
+		return p.parseProcessors(hpf)
 	case lexer.KwDistribute:
-		return p.parseDistribute(hpf.Line)
+		return p.parseDistribute(hpf)
 	case lexer.KwAlign:
-		return p.parseAlign(hpf.Line)
+		return p.parseAlign(hpf)
 	case lexer.KwTemplate:
 		// Templates are parsed and ignored: arrays distribute directly.
 		for !p.at(lexer.Newline) && !p.at(lexer.EOF) {
@@ -291,13 +288,13 @@ func (p *parser) parseDeclDirective() (ast.Directive, error) {
 	return nil, p.errorf("unknown directive %q", p.peek().Text)
 }
 
-func (p *parser) parseProcessors(line int) (ast.Directive, error) {
+func (p *parser) parseProcessors(hpf lexer.Token) (ast.Directive, error) {
 	p.next() // processors
 	name, err := p.expect(lexer.Ident)
 	if err != nil {
 		return nil, err
 	}
-	d := &ast.ProcessorsDir{Name: name.Text, Line: line}
+	d := &ast.ProcessorsDir{Name: name.Text, Line: hpf.Line, Col: hpf.Col}
 	if _, err := p.expect(lexer.LParen); err != nil {
 		return nil, err
 	}
@@ -351,9 +348,9 @@ func (p *parser) parseDistFormats() ([]ast.DistFormat, error) {
 
 // parseDistribute handles both "distribute (block,*) :: a, b" and
 // "distribute a(block,*)".
-func (p *parser) parseDistribute(line int) (ast.Directive, error) {
+func (p *parser) parseDistribute(hpf lexer.Token) (ast.Directive, error) {
 	p.next() // distribute
-	d := &ast.DistributeDir{Line: line}
+	d := &ast.DistributeDir{Line: hpf.Line, Col: hpf.Col}
 	if p.at(lexer.LParen) {
 		fms, err := p.parseDistFormats()
 		if err != nil {
@@ -393,9 +390,9 @@ func (p *parser) parseDistribute(line int) (ast.Directive, error) {
 
 // parseAlign handles "align b(i) with a(i,*)" and
 // "align (i) with a(i) :: b, c, d".
-func (p *parser) parseAlign(line int) (ast.Directive, error) {
+func (p *parser) parseAlign(hpf lexer.Token) (ast.Directive, error) {
 	p.next() // align
-	d := &ast.AlignDir{Line: line}
+	d := &ast.AlignDir{Line: hpf.Line, Col: hpf.Col}
 	var leadingArray string
 	if p.at(lexer.Ident) {
 		t := p.next()
@@ -510,7 +507,7 @@ func (p *parser) parseAlignSub() (ast.AlignSub, error) {
 // "!hpf$ nodeps [, new(a,b)]".
 func (p *parser) parseLoopDirective() error {
 	hpf := p.next() // !hpf$
-	d := ast.LoopDirective{Line: hpf.Line}
+	d := ast.LoopDirective{Line: hpf.Line, Col: hpf.Col}
 	for {
 		switch p.peek().Kind {
 		case lexer.KwIndependent:
@@ -599,7 +596,7 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 		if err := p.expectNewline(); err != nil {
 			return nil, err
 		}
-		return &ast.Goto{Label: int(v), Line: t.Line}, nil
+		return &ast.Goto{Label: int(v), Line: t.Line, Col: t.Col}, nil
 	case lexer.IntLit:
 		// "nnn continue"
 		lab := p.next()
@@ -610,7 +607,7 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 		if err := p.expectNewline(); err != nil {
 			return nil, err
 		}
-		return &ast.Continue{Label: int(v), Line: lab.Line}, nil
+		return &ast.Continue{Label: int(v), Line: lab.Line, Col: lab.Col}, nil
 	case lexer.Ident:
 		return p.parseAssign()
 	}
@@ -631,7 +628,7 @@ func (p *parser) parseRedistribute() (ast.Stmt, error) {
 	if err := p.expectNewline(); err != nil {
 		return nil, err
 	}
-	return &ast.Redistribute{Array: name.Text, Formats: fms, Line: hpf.Line}, nil
+	return &ast.Redistribute{Array: name.Text, Formats: fms, Line: hpf.Line, Col: hpf.Col}, nil
 }
 
 func (p *parser) parseAssign() (ast.Stmt, error) {
@@ -649,7 +646,7 @@ func (p *parser) parseAssign() (ast.Stmt, error) {
 	if err := p.expectNewline(); err != nil {
 		return nil, err
 	}
-	return &ast.Assign{Lhs: lhs, Rhs: rhs, Line: lhs.Line}, nil
+	return &ast.Assign{Lhs: lhs, Rhs: rhs, Line: lhs.Line, Col: lhs.Col}, nil
 }
 
 func (p *parser) parseDo() (ast.Stmt, error) {
@@ -682,7 +679,7 @@ func (p *parser) parseDo() (ast.Stmt, error) {
 	if err := p.expectNewline(); err != nil {
 		return nil, err
 	}
-	loop := &ast.DoLoop{Var: v.Text, Lo: lo, Hi: hi, Step: step, Line: doTok.Line}
+	loop := &ast.DoLoop{Var: v.Text, Lo: lo, Hi: hi, Step: step, Line: doTok.Line, Col: doTok.Col}
 	loop.Dirs = p.pendingLoopDirs
 	p.pendingLoopDirs = nil
 	body, err := p.parseStmts()
@@ -751,7 +748,7 @@ func (p *parser) parseIf() (ast.Stmt, error) {
 		if err := p.expectNewline(); err != nil {
 			return nil, err
 		}
-		return &ast.If{Cond: cond, Then: thenStmts, Else: elseStmts, Line: ifTok.Line}, nil
+		return &ast.If{Cond: cond, Then: thenStmts, Else: elseStmts, Line: ifTok.Line, Col: ifTok.Col}, nil
 	case lexer.KwGoto:
 		p.next()
 		lab, err := p.expect(lexer.IntLit)
@@ -762,7 +759,7 @@ func (p *parser) parseIf() (ast.Stmt, error) {
 		if err := p.expectNewline(); err != nil {
 			return nil, err
 		}
-		return &ast.IfGoto{Cond: cond, Label: int(v), Line: ifTok.Line}, nil
+		return &ast.IfGoto{Cond: cond, Label: int(v), Line: ifTok.Line, Col: ifTok.Col}, nil
 	default:
 		// Logical IF with a single assignment: "if (c) x = e".
 		lhs, err := p.parseRef()
@@ -779,8 +776,8 @@ func (p *parser) parseIf() (ast.Stmt, error) {
 		if err := p.expectNewline(); err != nil {
 			return nil, err
 		}
-		asn := &ast.Assign{Lhs: lhs, Rhs: rhs, Line: ifTok.Line}
-		return &ast.If{Cond: cond, Then: []ast.Stmt{asn}, Line: ifTok.Line}, nil
+		asn := &ast.Assign{Lhs: lhs, Rhs: rhs, Line: ifTok.Line, Col: ifTok.Col}
+		return &ast.If{Cond: cond, Then: []ast.Stmt{asn}, Line: ifTok.Line, Col: ifTok.Col}, nil
 	}
 }
 
@@ -982,7 +979,7 @@ func (p *parser) parseRef() (*ast.Ref, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &ast.Ref{Name: name.Text, Line: name.Line}
+	r := &ast.Ref{Name: name.Text, Line: name.Line, Col: name.Col}
 	if p.accept(lexer.LParen) {
 		for {
 			s, err := p.parseExpr()

@@ -1,0 +1,124 @@
+package pass
+
+import (
+	"phpf/internal/dataflow"
+	"phpf/internal/dist"
+	"phpf/internal/ir"
+	"phpf/internal/ssa"
+)
+
+// Funcs adapts a plain function into a Pass via declared metadata.
+type Funcs struct {
+	PassName string
+	Needs    []Fact
+	Makes    []Fact
+	MayDrop  []Fact
+	RunFunc  func(u *Unit) error
+}
+
+func (f *Funcs) Name() string        { return f.PassName }
+func (f *Funcs) Requires() []Fact    { return f.Needs }
+func (f *Funcs) Provides() []Fact    { return f.Makes }
+func (f *Funcs) Invalidates() []Fact { return f.MayDrop }
+func (f *Funcs) Run(u *Unit) error   { return f.RunFunc(u) }
+
+// IRBuild lowers the parsed program into the flat IR (FactIR).
+func IRBuild() Pass {
+	return &Funcs{
+		PassName: "ir",
+		Makes:    []Fact{FactIR},
+		RunFunc: func(u *Unit) error {
+			p, err := ir.Build(u.Source)
+			if err != nil {
+				return err
+			}
+			u.Prog = p
+			return nil
+		},
+	}
+}
+
+// CFGBuild constructs the control flow graph (FactCFG).
+func CFGBuild() Pass {
+	return &Funcs{
+		PassName: "cfg",
+		Needs:    []Fact{FactIR},
+		Makes:    []Fact{FactCFG},
+		RunFunc: func(u *Unit) error {
+			g, err := ir.BuildCFG(u.Prog)
+			if err != nil {
+				return err
+			}
+			u.CFG = g
+			return nil
+		},
+	}
+}
+
+// SSABuild constructs scalar SSA form (FactSSA).
+func SSABuild() Pass {
+	return &Funcs{
+		PassName: "ssa",
+		Needs:    []Fact{FactIR, FactCFG},
+		Makes:    []Fact{FactSSA},
+		RunFunc: func(u *Unit) error {
+			u.SSA = ssa.Build(u.Prog, u.CFG)
+			return nil
+		},
+	}
+}
+
+// ConstProp runs sparse constant propagation (FactConsts).
+func ConstProp() Pass {
+	return &Funcs{
+		PassName: "constprop",
+		Needs:    []Fact{FactSSA},
+		Makes:    []Fact{FactConsts},
+		RunFunc: func(u *Unit) error {
+			u.Consts = dataflow.PropagateConstants(u.SSA)
+			return nil
+		},
+	}
+}
+
+// Induction recognizes induction variables and rewrites their increments to
+// closed form. Rewriting changes expressions the SSA use links hang off, so
+// the pass invalidates FactCFG (and transitively SSA and Consts) instead of
+// rebuilding inline — the manager re-runs the providers before the next pass
+// that needs them, and the re-runs show up in the profile.
+func Induction() Pass {
+	return &Funcs{
+		PassName: "induction",
+		Needs:    []Fact{FactIR, FactSSA, FactConsts},
+		MayDrop:  []Fact{FactCFG},
+		RunFunc: func(u *Unit) error {
+			ivs := dataflow.FindInductionVars(u.Prog, u.SSA, u.Consts)
+			u.Inductions = ivs
+			if len(ivs) > 0 && dataflow.ApplyInductionRewrites(u.Prog, u.SSA, ivs) > 0 {
+				u.Invalidate(FactCFG)
+			}
+			return nil
+		},
+	}
+}
+
+// Mapping resolves the distribution directives leniently (FactMapping):
+// bad directives degrade to replication and surface as warning diagnostics.
+func Mapping() Pass {
+	return &Funcs{
+		PassName: "mapping",
+		Needs:    []Fact{FactIR},
+		Makes:    []Fact{FactMapping},
+		RunFunc: func(u *Unit) error {
+			m, probs, err := dist.ResolveLenient(u.Prog, u.NProcs)
+			if err != nil {
+				return err
+			}
+			u.Mapping = m
+			for _, d := range probs {
+				u.Diag(d)
+			}
+			return nil
+		},
+	}
+}

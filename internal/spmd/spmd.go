@@ -15,6 +15,7 @@ import (
 	"phpf/internal/ast"
 	"phpf/internal/comm"
 	"phpf/internal/core"
+	"phpf/internal/diag"
 	"phpf/internal/dist"
 	"phpf/internal/ir"
 )
@@ -110,6 +111,9 @@ type Program struct {
 	// Recovery classifies every variable's post-crash restoration cost
 	// under the chosen mapping (see RecoveryClass).
 	Recovery map[*ir.Var]RecoveryClass
+	// Diags are the diagnostics communication analysis and SPMD generation
+	// emitted (placement notes, generation fallbacks), in emission order.
+	Diags []diag.Diagnostic
 }
 
 // Grid returns the processor grid the program is mapped onto.
@@ -147,6 +151,11 @@ func Generate(res *core.Result) *Program {
 		lp := p.Loops[outer]
 		if lp != nil {
 			lp.Combines = append(lp.Combines, m)
+		} else {
+			p.Diags = append(p.Diags, diag.Warningf("spmd", diag.CodeScalarFallback,
+				m.Def.Var.Name, m.Red.Stmt.Pos(),
+				"no loop plan for the %s-loop; global combine for %s stays per-iteration",
+				outer.Index.Name, m.Def.Var.Name))
 		}
 	}
 	for _, lp := range p.Loops {
@@ -155,6 +164,7 @@ func Generate(res *core.Result) *Program {
 		})
 	}
 	p.Recovery = recoveryClasses(res)
+	p.Diags = append(p.Diags, plan.Diags...)
 	return p
 }
 

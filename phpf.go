@@ -19,14 +19,17 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"phpf/internal/core"
+	"phpf/internal/diag"
 	"phpf/internal/dist"
 	"phpf/internal/exec"
 	"phpf/internal/fault"
 	"phpf/internal/ir"
 	"phpf/internal/machine"
 	"phpf/internal/parser"
+	"phpf/internal/pass"
 	"phpf/internal/programs"
 	"phpf/internal/sim"
 	"phpf/internal/spmd"
@@ -43,9 +46,16 @@ type (
 	MachineParams = machine.Params
 	// Stats aggregates simulated communication activity.
 	Stats = machine.Stats
-	// Diagnostic is a non-fatal analysis problem the compiler degraded
-	// around (see core.Diagnostic).
+	// Diagnostic is a positioned, coded compiler diagnostic (see
+	// internal/diag.Diagnostic); every stage reports problems this way.
 	Diagnostic = core.Diagnostic
+	// Severity grades a Diagnostic (info, warning, error).
+	Severity = diag.Severity
+	// CompileProfile is the per-pass instrumentation of a compilation (see
+	// pass.CompileProfile); phpfc -trace prints it.
+	CompileProfile = pass.CompileProfile
+	// PassStat is one pass execution in a CompileProfile.
+	PassStat = pass.PassStat
 	// FaultPlan is a deterministic fault-injection schedule (see
 	// fault.Plan).
 	FaultPlan = fault.Plan
@@ -53,6 +63,13 @@ type (
 	Crash = fault.Crash
 	// Slowdown is a transient per-processor compute slowdown.
 	Slowdown = fault.Slowdown
+)
+
+// Diagnostic severities.
+const (
+	SeverityInfo    = diag.Info
+	SeverityWarning = diag.Warning
+	SeverityError   = diag.Error
 )
 
 // ParseCrashes parses a CLI crash list "proc@time,proc@time".
@@ -114,12 +131,21 @@ func Compile(source string, nprocs int, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("phpf: %w", err)
 	}
+	start := time.Now()
+	sp := spmd.Generate(res)
+	// SPMD generation runs outside the pass manager; time it the same way so
+	// -trace accounts for the whole compilation.
+	res.Profile.Stats = append(res.Profile.Stats, pass.PassStat{
+		Name:  "spmd",
+		Wall:  time.Since(start),
+		Diags: len(sp.Diags),
+	})
 	return &Compiled{
 		Source: source,
 		NProcs: nprocs,
 		Opts:   opts,
 		Result: res,
-		SPMD:   spmd.Generate(res),
+		SPMD:   sp,
 	}, nil
 }
 
@@ -195,9 +221,20 @@ func (c *Compiled) DiffBackends(ctx context.Context, simCfg RunConfig, execCfg E
 	return d.Run(ctx, c.SPMD)
 }
 
-// Diags returns the non-fatal problems the analyses degraded around
-// (skipped directives, alignment fallbacks), with source positions.
-func (c *Compiled) Diags() []Diagnostic { return c.Result.Diags }
+// Diags returns every non-fatal diagnostic the compilation emitted —
+// analysis degradations (skipped directives, alignment fallbacks) followed
+// by communication-placement notes — with source positions.
+func (c *Compiled) Diags() []Diagnostic {
+	out := make([]Diagnostic, 0, len(c.Result.Diags)+len(c.SPMD.Diags))
+	out = append(out, c.Result.Diags...)
+	out = append(out, c.SPMD.Diags...)
+	return out
+}
+
+// Profile returns the per-pass instrumentation of the compilation: one entry
+// per pass execution (including lazy re-runs after invalidation) plus the
+// SPMD generation step, and any snapshots requested via Options.DumpAfter.
+func (c *Compiled) Profile() *CompileProfile { return c.Result.Profile }
 
 // FormatProfile renders a profile as a hot-statement table (top n entries).
 func FormatProfile(prof []sim.StmtProfile, n int) string {

@@ -17,4 +17,10 @@ fuzztime="${FUZZTIME:-10s}"
 go test -run=^$ -fuzz=FuzzLex -fuzztime="$fuzztime" ./internal/lexer
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
 
+# Golden-dump gate: the -dump-after snapshots of the paper figures must
+# match the checked-in golden files byte for byte (determinism + stability
+# of the pass pipeline's textual form). `go test -update .` refreshes them
+# after an intentional change.
+go test -run '^TestGolden' .
+
 echo "check: OK"
