@@ -12,13 +12,13 @@ import (
 // stencil shifts degrade to per-iteration messages.
 func TestAblationVectorization(t *testing.T) {
 	src := TOMCATVSource(33, 2)
-	on, err := runCell(src, 8, SelectedOptions(), RunConfig{})
+	on, err := runCell(src, 8, SelectedOptions(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := SelectedOptions()
 	opts.DisableVectorization = true
-	off, err := runCell(src, 8, opts, RunConfig{})
+	off, err := runCell(src, 8, opts, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,13 +36,13 @@ func TestAblationVectorization(t *testing.T) {
 // pivot-column broadcast cannot be hoisted out of the update loops.
 func TestAblationDependenceTest(t *testing.T) {
 	src := DGEFASource(64)
-	on, err := runCell(src, 8, SelectedOptions(), RunConfig{})
+	on, err := runCell(src, 8, SelectedOptions(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := SelectedOptions()
 	opts.DisableDependenceTest = true
-	off, err := runCell(src, 8, opts, RunConfig{})
+	off, err := runCell(src, 8, opts, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,13 +56,13 @@ func TestAblationDependenceTest(t *testing.T) {
 // forces broadcasts of the predicate data (Figure 7's point).
 func TestAblationControlPrivatization(t *testing.T) {
 	src, _ := FigureSource("figure7")
-	on, err := runCell(src, 8, SelectedOptions(), RunConfig{})
+	on, err := runCell(src, 8, SelectedOptions(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := SelectedOptions()
 	opts.PrivatizeControlFlow = false
-	off, err := runCell(src, 8, opts, RunConfig{})
+	off, err := runCell(src, 8, opts, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

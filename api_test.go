@@ -1,0 +1,188 @@
+package phpf
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func compileSmooth(t *testing.T, nprocs int) *Compiled {
+	t.Helper()
+	c, err := Compile(SmoothSource(64, 2), nprocs, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBackendInterface runs the same program through both backends via the
+// unified Execute API: both reports must agree on the modeled time and
+// stats, and carry their backend-specific extras.
+func TestBackendInterface(t *testing.T) {
+	c := compileSmooth(t, 4)
+	ctx := context.Background()
+
+	var reports []*Report
+	for _, name := range Backends() {
+		b, ok := BackendByName(name)
+		if !ok {
+			t.Fatalf("BackendByName(%q) failed", name)
+		}
+		if b.Name() != name {
+			t.Fatalf("backend %q reports name %q", name, b.Name())
+		}
+		rep, err := c.Execute(ctx, b, RunOptions{Trace: &TraceOptions{}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Backend != name {
+			t.Errorf("report names backend %q, want %q", rep.Backend, name)
+		}
+		if !rep.Trace.Enabled() {
+			t.Errorf("%s: no trace recorded", name)
+		}
+		reports = append(reports, rep)
+	}
+
+	simRep, execRep := reports[0], reports[1]
+	if simRep.Time != execRep.Time {
+		t.Errorf("modeled time: sim %v, concurrent %v", simRep.Time, execRep.Time)
+	}
+	if simRep.Stats != execRep.Stats {
+		t.Errorf("stats: sim %+v, concurrent %+v", simRep.Stats, execRep.Stats)
+	}
+	if execRep.Workers != 4 {
+		t.Errorf("concurrent report has %d workers, want 4", execRep.Workers)
+	}
+	if execRep.TrafficMessages == 0 {
+		t.Error("concurrent report counted no real traffic")
+	}
+	if simRep.Workers != 0 || simRep.TrafficMessages != 0 {
+		t.Error("simulator report carries concurrent-only fields")
+	}
+}
+
+// TestSimulatorContextCancel checks the simulator honors a cancelled
+// context: the new entry point must abort mid-run with the context's error.
+func TestSimulatorContextCancel(t *testing.T) {
+	c, err := Compile(TOMCATVSource(129, 50), 8, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err = c.Execute(ctx, Simulator(), RunOptions{})
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if ctx.Err() == nil || !strings.Contains(err.Error(), ctx.Err().Error()) {
+		t.Fatalf("error %v does not carry the context error %v", err, ctx.Err())
+	}
+}
+
+// TestBackendRejectsForeignOptions checks each backend rejects the other's
+// knobs with a coded E005 diagnostic instead of silently ignoring them.
+func TestBackendRejectsForeignOptions(t *testing.T) {
+	c := compileSmooth(t, 4)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		b    Backend
+		opts RunOptions
+	}{
+		{"sim-workers", Simulator(), RunOptions{Workers: 4}},
+		{"sim-stall", Simulator(), RunOptions{StallTimeout: time.Second}},
+		{"concurrent-fault", Concurrent(), RunOptions{Fault: &FaultPlan{LossRate: 0.1, Seed: 1}}},
+		{"concurrent-checkpoint", Concurrent(), RunOptions{CheckpointInterval: 0.1}},
+		{"concurrent-max", Concurrent(), RunOptions{MaxSeconds: 1}},
+		{"concurrent-profile", Concurrent(), RunOptions{Profile: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Execute(ctx, tc.b, tc.opts)
+			if err == nil {
+				t.Fatal("expected an E005 configuration error")
+			}
+			if !strings.Contains(err.Error(), "E005") {
+				t.Fatalf("error %v is not coded E005", err)
+			}
+		})
+	}
+}
+
+// TestDiffBackendsRejectsFaultyConfig pins the bugfix: the deprecated
+// DiffBackends entry must validate the simulator config instead of silently
+// forwarding fault injection or checkpointing into the oracle.
+func TestDiffBackendsRejectsFaultyConfig(t *testing.T) {
+	c := compileSmooth(t, 4)
+	ctx := context.Background()
+	_, err := c.DiffBackends(ctx, RunConfig{Fault: &FaultPlan{LossRate: 0.5, Seed: 7}}, ExecConfig{})
+	if err == nil || !strings.Contains(err.Error(), "E005") {
+		t.Fatalf("fault plan: got %v, want a coded E005 diagnostic", err)
+	}
+	_, err = c.DiffBackends(ctx, RunConfig{CheckpointInterval: 0.5}, ExecConfig{})
+	if err == nil || !strings.Contains(err.Error(), "E005") {
+		t.Fatalf("checkpointing: got %v, want a coded E005 diagnostic", err)
+	}
+}
+
+// TestDiffTraced runs the unified Diff entry with tracing: the oracle must
+// match, and extend its comparison to the event level.
+func TestDiffTraced(t *testing.T) {
+	c := compileSmooth(t, 4)
+	rep, err := c.Diff(context.Background(), RunOptions{Trace: &TraceOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Match() {
+		t.Fatal(rep.String())
+	}
+	if !rep.Sim.Trace.Enabled() || !rep.Exec.Trace.Enabled() {
+		t.Fatal("Diff with Trace set did not trace both backends")
+	}
+	if rep.Sim.Trace.CommMatrix().Total().Msgs == 0 {
+		t.Error("sim trace matrix is empty for a communicating program")
+	}
+	// Invalid configurations are rejected with the same coded diagnostic as
+	// the deprecated entry point.
+	if _, err := c.Diff(context.Background(), RunOptions{CheckpointInterval: 1}); err == nil || !strings.Contains(err.Error(), "E005") {
+		t.Fatalf("Diff with checkpointing: got %v, want E005", err)
+	}
+}
+
+// TestDeprecatedWrappers checks the pre-Backend entry points still work and
+// agree with the unified API.
+func TestDeprecatedWrappers(t *testing.T) {
+	c := compileSmooth(t, 4)
+	ctx := context.Background()
+
+	old, err := c.Run(RunConfig{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Execute(ctx, Simulator(), RunOptions{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Time != rep.Time || old.Stats != rep.Stats {
+		t.Errorf("Run and Execute disagree: %v/%v vs %v/%v", old.Time, old.Stats, rep.Time, rep.Stats)
+	}
+
+	oldc, err := c.RunConcurrent(ctx, ExecConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldc.Time != rep.Time {
+		t.Errorf("RunConcurrent time %v, want %v", oldc.Time, rep.Time)
+	}
+
+	// The hot-statement formatter and its deprecated alias render the same
+	// table.
+	if FormatProfile(old.Profile, 5) != FormatHotStatements(rep.HotStatements, 5) {
+		t.Error("FormatProfile and FormatHotStatements disagree")
+	}
+	if len(rep.HotStatements) == 0 {
+		t.Error("Profile run returned no hot statements")
+	}
+}

@@ -10,6 +10,7 @@
 //	phpfbench -large          # closer to the paper's sizes (slower)
 //	phpfbench -faults         # loss-rate sweep over the three benchmarks
 //	phpfbench -diff           # differential oracle: concurrent vs simulator
+//	phpfbench -trace-summary  # communication matrix for every sweep point
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	faults := flag.Bool("faults", false, "run the fault sweep (loss rates x strategies x benchmarks) instead of the tables")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault sweep")
 	diff := flag.Bool("diff", false, "run the differential oracle (concurrent executor vs sequential simulator) instead of the tables")
+	traceSummary := flag.Bool("trace-summary", false, "trace every sweep point (benchmark x strategy x procs) and print its communication matrix instead of the tables")
 	flag.Parse()
 
 	procs := []int{1, 2, 4, 8, 16}
@@ -46,24 +48,36 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The -diff and -trace-summary sweeps use reduced sizes: replicated
+	// concurrent execution costs roughly nprocs times the sequential
+	// simulator per run, and trace matrices are easiest to read when the
+	// event counts stay small.
+	dTomN, dTomIter := 65, 2
+	dDgeN := 64
+	dApN, dApIter := 8, 1
+	if *large {
+		dTomN, dTomIter = tomN, tomIter
+		dDgeN = dgeN
+		dApN, dApIter = apN, apIter
+	}
+	sweepProgs := []phpf.DiffProgram{
+		{Name: fmt.Sprintf("TOMCATV(n=%d,niter=%d)", dTomN, dTomIter), Source: phpf.TOMCATVSource(dTomN, dTomIter)},
+		{Name: fmt.Sprintf("DGEFA(n=%d)", dDgeN), Source: phpf.DGEFASource(dDgeN)},
+		{Name: fmt.Sprintf("APPSP-1D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, false)},
+		{Name: fmt.Sprintf("APPSP-2D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, true)},
+	}
+
+	if *traceSummary {
+		points, err := phpf.TraceSweep(context.Background(), sweepProgs, []int{4, 8}, *maxSec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatTraceSweep(points))
+		return
+	}
+
 	if *diff {
-		// Replicated concurrent execution costs roughly nprocs times the
-		// sequential simulator per run, so the oracle sweeps reduced sizes.
-		dTomN, dTomIter := 65, 2
-		dDgeN := 64
-		dApN, dApIter := 8, 1
-		if *large {
-			dTomN, dTomIter = tomN, tomIter
-			dDgeN = dgeN
-			dApN, dApIter = apN, apIter
-		}
-		progs := []phpf.DiffProgram{
-			{Name: fmt.Sprintf("TOMCATV(n=%d,niter=%d)", dTomN, dTomIter), Source: phpf.TOMCATVSource(dTomN, dTomIter)},
-			{Name: fmt.Sprintf("DGEFA(n=%d)", dDgeN), Source: phpf.DGEFASource(dDgeN)},
-			{Name: fmt.Sprintf("APPSP-1D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, false)},
-			{Name: fmt.Sprintf("APPSP-2D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, true)},
-		}
-		rows, err := phpf.DiffSweep(context.Background(), progs, []int{1, 4, 8})
+		rows, err := phpf.DiffSweep(context.Background(), sweepProgs, []int{1, 4, 8})
 		if err != nil {
 			fail(err)
 		}

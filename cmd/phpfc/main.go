@@ -22,7 +22,7 @@ import (
 func main() {
 	procs := flag.Int("p", 16, "number of processors")
 	level := flag.String("opt", "selected", "optimization level: naive, producer, selected")
-	dump := flag.String("dump", "all", "what to print: mapping, comm, spmd, all")
+	dump := flag.String("dump", "all", "what to print: mapping, comm, spmd, labels, all")
 	figure := flag.String("figure", "", "analyze a paper figure instead of a file (figure1, figure2, figure4, figure5, figure6, figure7)")
 	trace := flag.Bool("trace", false, "print the per-pass compile profile (wall time, diagnostics, re-runs)")
 	dumpAfter := flag.String("dump-after", "", "print the compilation unit snapshot after the named pass (ir, cfg, ssa, constprop, induction, mapping, analyze)")
@@ -102,5 +102,11 @@ func main() {
 	if *dump == "spmd" || *dump == "all" {
 		fmt.Println("=== SPMD program ===")
 		fmt.Print(c.DumpSPMD())
+	}
+	if *dump == "labels" {
+		// The statement-label table trace events reference (phpfrun
+		// -trace-out/-trace-summary attributes activity to these IDs).
+		fmt.Println("=== statement labels ===")
+		fmt.Print(c.FormatStmtLabels())
 	}
 }

@@ -1,6 +1,6 @@
-// Command phpfrun compiles a mini-HPF program and executes it on the
-// simulated SP2-style machine, reporting execution time and communication
-// statistics.
+// Command phpfrun compiles a mini-HPF program and executes it on one of the
+// two backends behind the unified phpf.Backend API, reporting execution time
+// and communication statistics.
 //
 // Usage:
 //
@@ -14,6 +14,12 @@
 //
 //	phpfrun -tomcatv -p 16 -exec concurrent
 //	phpfrun -dgefa -n 64 -p 8 -exec concurrent -workers 8 -deadline 30s -stall 5s
+//
+// Tracing (works on both backends; the simulator stamps simulated time, the
+// concurrent executor wall time):
+//
+//	phpfrun -tomcatv -p 16 -trace-out run.json          # chrome://tracing / Perfetto
+//	phpfrun -dgefa -n 64 -p 8 -exec concurrent -trace-summary
 //
 // Fault injection (deterministic for a fixed -fault-seed; simulator only):
 //
@@ -35,8 +41,8 @@ import (
 func main() {
 	procs := flag.Int("p", 16, "number of processors")
 	level := flag.String("opt", "selected", "optimization level: naive, producer, selected")
-	maxSec := flag.Float64("max", 0, "abort after this much simulated time (0 = unlimited)")
-	profile := flag.Bool("profile", false, "print per-statement time attribution")
+	maxSec := flag.Float64("max", 0, "abort after this much simulated time (0 = unlimited; simulator only)")
+	profile := flag.Bool("profile", false, "print per-statement time attribution (simulator only)")
 	tomcatv := flag.Bool("tomcatv", false, "run the built-in TOMCATV kernel")
 	dgefa := flag.Bool("dgefa", false, "run the built-in DGEFA kernel")
 	appsp := flag.Bool("appsp", false, "run the built-in APPSP kernel")
@@ -46,8 +52,12 @@ func main() {
 
 	backend := flag.String("exec", "sim", "execution backend: sim (sequential simulator) or concurrent (goroutine per processor)")
 	workers := flag.Int("workers", 0, "concurrent backend: worker count (0 = one per simulated processor)")
-	deadline := flag.Duration("deadline", 0, "concurrent backend: wall-clock deadline for the whole run (0 = none)")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole run (0 = none)")
 	stallTimeout := flag.Duration("stall", 0, "concurrent backend: watchdog stall timeout (0 = default, negative = disabled)")
+
+	traceOut := flag.String("trace-out", "", "record a runtime trace and write it as Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev)")
+	traceSummary := flag.Bool("trace-summary", false, "record a runtime trace and print the communication matrix and per-statement histogram")
+	traceSample := flag.Int("trace-sample", 0, "keep 1 in N events in the trace ring (0/1 = all; matrix and counters stay exact)")
 
 	faultSeed := flag.Int64("fault-seed", 0, "deterministic seed for fault draws (same seed = same schedule)")
 	lossRate := flag.Float64("loss-rate", 0, "per-message loss probability in [0,1)")
@@ -121,61 +131,87 @@ func main() {
 		}
 	}
 
-	if *backend == "concurrent" {
-		if plan != nil || *ckptInterval > 0 {
-			fmt.Fprintln(os.Stderr, "phpfrun: fault injection and checkpointing are simulator-only (drop -exec concurrent)")
-			os.Exit(2)
-		}
-		ctx := context.Background()
-		if *deadline > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *deadline)
-			defer cancel()
-		}
-		start := time.Now()
-		out, err := c.RunConcurrent(ctx, phpf.ExecConfig{
-			Workers:      *workers,
-			StallTimeout: *stallTimeout,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("processors:     %d (%d workers)\n", *procs, out.Workers)
-		fmt.Printf("optimization:   %s\n", *level)
-		fmt.Printf("simulated time: %.6f s (wall %.3fs)\n", out.Time, time.Since(start).Seconds())
-		fmt.Printf("communication:  %v\n", out.Stats)
-		fmt.Printf("real traffic:   %d channel messages\n", out.TrafficMessages)
-		return
-	}
-	if *backend != "sim" {
+	b, ok := phpf.BackendByName(*backend)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "phpfrun: unknown backend %q (want sim or concurrent)\n", *backend)
 		os.Exit(2)
 	}
 
-	out, err := c.Run(phpf.RunConfig{
-		MaxSeconds:         *maxSec,
-		Profile:            *profile,
-		Fault:              plan,
-		CheckpointInterval: *ckptInterval,
-	})
+	run := phpf.RunOptions{Workers: *workers, StallTimeout: *stallTimeout}
+	if b.Name() == "sim" {
+		// Simulator-only knobs: leave them zero for the concurrent backend,
+		// which would reject them with an E005 diagnostic.
+		run.MaxSeconds = *maxSec
+		run.Profile = *profile
+		run.Fault = plan
+		run.CheckpointInterval = *ckptInterval
+		run.Workers = 0
+		run.StallTimeout = 0
+	} else if plan != nil || *ckptInterval > 0 || *profile || *maxSec > 0 {
+		fmt.Fprintln(os.Stderr, "phpfrun: -fault*/-crash/-checkpoint-interval/-profile/-max are simulator-only (drop -exec concurrent)")
+		os.Exit(2)
+	}
+	if *traceOut != "" || *traceSummary {
+		run.Trace = &phpf.TraceOptions{SampleEvery: *traceSample}
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	rep, err := c.Execute(ctx, b, run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
 		os.Exit(1)
 	}
+
 	status := ""
-	if out.Aborted {
+	if rep.Aborted {
 		status = " (aborted at limit)"
 	}
-	fmt.Printf("processors:     %d\n", *procs)
+	if rep.Workers > 0 {
+		fmt.Printf("processors:     %d (%d workers)\n", *procs, rep.Workers)
+	} else {
+		fmt.Printf("processors:     %d\n", *procs)
+	}
 	fmt.Printf("optimization:   %s\n", *level)
-	fmt.Printf("simulated time: %.6f s%s\n", out.Time, status)
-	fmt.Printf("communication:  %v\n", out.Stats)
-	if fs := out.Stats.FaultString(); fs != "" {
+	fmt.Printf("backend:        %s\n", rep.Backend)
+	fmt.Printf("simulated time: %.6f s%s (wall %.3fs)\n", rep.Time, status, time.Since(start).Seconds())
+	fmt.Printf("communication:  %v\n", rep.Stats)
+	if rep.TrafficMessages > 0 {
+		fmt.Printf("real traffic:   %d channel messages\n", rep.TrafficMessages)
+	}
+	if fs := rep.Stats.FaultString(); fs != "" {
 		fmt.Printf("faults:         %s\n", fs)
 	}
 	if *profile {
 		fmt.Println("hot statements:")
-		fmt.Print(phpf.FormatProfile(out.Profile, 10))
+		fmt.Print(phpf.FormatHotStatements(rep.HotStatements, 10))
+	}
+	if *traceSummary {
+		fmt.Printf("trace:          %d events recorded (%d stored)\n", rep.Trace.Seen(), rep.Trace.Len())
+		fmt.Print(rep.Trace.Summary())
+		fmt.Println("communication matrix (planned messages, src rows -> dst columns):")
+		fmt.Print(rep.Trace.CommMatrix().String())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phpfrun: %v\n", err)
+			os.Exit(1)
+		}
+		werr := rep.Trace.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "phpfrun: -trace-out: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written:  %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 }

@@ -1,0 +1,62 @@
+package phpf
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenTrace runs figure1 on the simulator with tracing and renders the
+// deterministic event stream.
+func goldenTrace(t *testing.T) string {
+	t.Helper()
+	src, ok := FigureSource("figure1")
+	if !ok {
+		t.Fatal("figure1 missing")
+	}
+	c, err := Compile(src, 4, SelectedOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := c.Execute(context.Background(), Simulator(), RunOptions{Trace: &TraceOptions{}})
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return rep.Trace.FormatEvents() + "\n" + rep.Trace.Summary()
+}
+
+// TestGoldenTrace locks down the simulator's traced event stream for
+// figure1: simulated time is deterministic, so the rendered trace — every
+// event with its timestamp, endpoints, class, and attribution, plus the
+// exact aggregate summary — must be byte-identical to the checked-in golden
+// file. Run with -update after an intentional cost-model or tracing change.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenTrace(t)
+	path := filepath.Join("testdata", "traces", "figure1.trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGoldenTrace -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("figure1 trace deviates from %s\n--- got ---\n%s--- want ---\n%s",
+			path, got, string(want))
+	}
+}
+
+// TestGoldenTraceStability traces figure1 twice and requires byte-identical
+// renderings, independent of the golden file.
+func TestGoldenTraceStability(t *testing.T) {
+	if a, b := goldenTrace(t), goldenTrace(t); a != b {
+		t.Error("figure1 trace differs between two runs")
+	}
+}

@@ -15,6 +15,9 @@ const (
 	// CodeVerify: an inter-pass verifier invariant failed — a compiler bug,
 	// not a user error.
 	CodeVerify = "E004"
+	// CodeConfig: a run configuration is invalid for the requested backend
+	// or mode (e.g. fault injection handed to the differential oracle).
+	CodeConfig = "E005"
 
 	// CodeDirective: a mapping directive was skipped; the affected arrays
 	// stay replicated.

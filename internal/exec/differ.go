@@ -13,8 +13,10 @@ import (
 	"math"
 	"sort"
 
+	"phpf/internal/dist"
 	"phpf/internal/sim"
 	"phpf/internal/spmd"
+	"phpf/internal/trace"
 )
 
 // Differ runs both backends and compares their results.
@@ -25,6 +27,10 @@ type Differ struct {
 	Sim sim.Config
 	// Exec configures the concurrent run.
 	Exec Config
+	// Trace, when non-nil, traces both runs and extends the comparison to
+	// event-level agreement: per-communication-class message and byte
+	// counts, and the number of reduction collectives, must match exactly.
+	Trace *trace.Options
 }
 
 // DiffReport is the outcome of one differential run.
@@ -59,7 +65,11 @@ func (d Differ) Run(ctx context.Context, p *spmd.Program) (*DiffReport, error) {
 	if d.Sim.CheckpointInterval > 0 {
 		return nil, &ConfigError{Msg: "differential oracle requires checkpointing off (the concurrent backend takes none)"}
 	}
-	simRes, err := sim.Run(p, d.Sim)
+	if d.Trace != nil {
+		d.Sim.Trace = d.Trace
+		d.Exec.Trace = d.Trace
+	}
+	simRes, err := sim.RunContext(ctx, p, d.Sim)
 	if err != nil {
 		return nil, fmt.Errorf("differ: %w", err)
 	}
@@ -150,5 +160,23 @@ func (r *DiffReport) compare() {
 	}
 	if math.Float64bits(r.Sim.Time) != math.Float64bits(r.Exec.Time) {
 		miss("simulated time: sim %v, exec %v", r.Sim.Time, r.Exec.Time)
+	}
+
+	// Event-level agreement: when both runs were traced, the planned
+	// communication each backend observed — split by class — must be
+	// structurally identical, and so must the number of reduction
+	// collectives. (Time stamps differ by construction: simulated vs wall.)
+	if st, et := r.Sim.Trace, r.Exec.Trace; st.Enabled() && et.Enabled() {
+		sc, ec := st.SendsByClass(), et.SendsByClass()
+		for c := dist.CommNone; c <= dist.CommGeneral; c++ {
+			s, e := sc[c], ec[c]
+			if s != e {
+				miss("trace class %s: sim %d msgs/%d bytes, exec %d msgs/%d bytes",
+					c, s.Msgs, s.Bytes, e.Msgs, e.Bytes)
+			}
+		}
+		if s, e := st.KindCount(trace.Reduce), et.KindCount(trace.Reduce); s != e {
+			miss("trace reduce events: sim %d, exec %d", s, e)
+		}
 	}
 }

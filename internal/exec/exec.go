@@ -48,6 +48,7 @@ import (
 	"phpf/internal/ir"
 	"phpf/internal/machine"
 	"phpf/internal/spmd"
+	"phpf/internal/trace"
 )
 
 // DefaultMailboxDepth is the default bound of each directed mailbox.
@@ -75,6 +76,11 @@ type Config struct {
 	// progress before declaring a stall (0 = DefaultStallTimeout,
 	// negative = watchdog disabled).
 	StallTimeout time.Duration
+	// Trace, when non-nil, records runtime events (stamped with wall time
+	// since run start) into Result.Trace; each worker emits into its own
+	// shard, so tracing adds no locking to the hot path and is race-free.
+	// Nil keeps the event path emission-free.
+	Trace *trace.Options
 
 	// Test hooks (package-internal): testDropSend suppresses a worker's
 	// sends for a requirement, wedging its receivers on purpose; testHook
@@ -100,6 +106,12 @@ type Result struct {
 	// TrafficMessages counts the real channel messages exchanged (the
 	// physical rendezvous, not the cost model's modeled message count).
 	TrafficMessages int64
+
+	// Trace holds the recorded event stream when Config.Trace was set
+	// (nil otherwise). Events are stamped with wall time; per-class counts
+	// of planned communication match the simulator's trace exactly, which
+	// the differential oracle verifies.
+	Trace *trace.Recorder
 }
 
 // message is one mailbox entry. Each directed edge carries an independent
@@ -137,8 +149,16 @@ type executor struct {
 	// reqDesc names each planned requirement for watchdog reports.
 	reqDesc map[int]string
 
+	// rec, when non-nil, receives wall-time events; start anchors the time
+	// axis at run start.
+	rec   *trace.Recorder
+	start time.Time
+
 	traffic atomic.Int64
 }
+
+// wall is the run-relative wall clock in seconds.
+func (ex *executor) wall() float64 { return time.Since(ex.start).Seconds() }
 
 // Run executes the program concurrently. The context's cancellation or
 // deadline aborts the run (every worker unwinds and the context error is
@@ -189,6 +209,13 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	for _, req := range p.Plan.Reqs {
 		ex.reqDesc[req.ID] = req.String()
 	}
+	if cfg.Trace != nil {
+		// One shard per worker: each goroutine owns its ring outright, so
+		// emission is lock-free and the run stays race-free under -race.
+		ex.rec = trace.New(n, n, *cfg.Trace)
+		ex.rec.SetLabels(p.StmtLabels())
+	}
+	ex.start = time.Now()
 	ex.mail = make([][]chan message, n)
 	for i := range ex.mail {
 		ex.mail[i] = make([]chan message, n)
@@ -223,11 +250,12 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 				}
 			}()
 			w := &worker{
-				ex:      ex,
-				proc:    proc,
-				st:      states[proc],
-				sendSeq: make([]uint64, n),
-				recvSeq: make([]uint64, n),
+				ex:       ex,
+				proc:     proc,
+				st:       states[proc],
+				sendSeq:  make([]uint64, n),
+				recvSeq:  make([]uint64, n),
+				attrStmt: -1,
 			}
 			if err := eval.Walk(states[proc], w); err != nil {
 				errs[proc] = err
@@ -258,6 +286,7 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 		Arrays:          map[string][]float64{},
 		Workers:         n,
 		TrafficMessages: ex.traffic.Load(),
+		Trace:           ex.rec,
 	}
 	for v, x := range states[0].Scalars {
 		res.Scalars[v.Name] = x
@@ -335,6 +364,34 @@ type worker struct {
 	st   *eval.State
 	// sendSeq[to] / recvSeq[from] are the per-edge sequence counters.
 	sendSeq, recvSeq []uint64
+
+	// Trace attribution for the communication currently in flight: statement,
+	// class, and per-message payload bytes (the requirement ID travels in the
+	// message itself). mute suppresses emission for real traffic the cost
+	// model does not charge (e.g. ring slots of non-participants).
+	attrStmt  int32
+	attrClass dist.CommClass
+	attrBytes int64
+	mute      bool
+}
+
+// setAttr stamps the attribution for the planned messages about to flow.
+func (w *worker) setAttr(stmt int, class dist.CommClass, bytes int64) {
+	w.attrStmt, w.attrClass, w.attrBytes = int32(stmt), class, bytes
+}
+
+// clearAttr resets the attribution to "none".
+func (w *worker) clearAttr() {
+	w.attrStmt, w.attrClass, w.attrBytes, w.mute = -1, dist.CommNone, 0, false
+}
+
+// emit records one event into this worker's shard (callers guard on
+// w.ex.rec != nil).
+func (w *worker) emit(k trace.Kind, peer int, dur float64, bytes int64, req int) {
+	w.ex.rec.Emit(w.proc, trace.Event{
+		Time: w.ex.wall(), Dur: dur, Bytes: bytes, Kind: k, Class: w.attrClass,
+		Proc: int32(w.proc), Peer: int32(peer), Stmt: w.attrStmt, Req: int32(req),
+	})
 }
 
 // elemBytes is the payload size of one element message.
@@ -356,19 +413,36 @@ func (w *worker) send(to int, m message, what string) error {
 	case ch <- m:
 		w.ex.traffic.Add(1)
 		w.ex.wd.tick()
+		w.traceSend(to, m)
 		return nil
 	default:
 	}
 	h := w.ex.wd.block(w.proc, "send", to, what)
 	defer w.ex.wd.unblock(h)
+	blocked := w.ex.wall()
 	select {
 	case ch <- m:
 		w.ex.traffic.Add(1)
 		w.ex.wd.tick()
+		if w.ex.rec != nil {
+			w.emit(trace.Wait, to, w.ex.wall()-blocked, 0, -1)
+		}
+		w.traceSend(to, m)
 		return nil
 	case <-w.ex.ctx.Done():
 		return w.ex.ctx.Err()
 	}
+}
+
+// traceSend records the departure of one planned message. Protocol traffic
+// (negative tags: reduce gathers, barriers) is invisible to the cost model,
+// so it is excluded — keeping Send/Recv counts structurally identical to the
+// simulator's trace.
+func (w *worker) traceSend(to int, m message) {
+	if w.ex.rec == nil || m.req < 0 || w.mute {
+		return
+	}
+	w.emit(trace.Send, to, 0, w.attrBytes, m.req)
 }
 
 // recv takes the next message on the edge from->proc and verifies it
@@ -380,9 +454,13 @@ func (w *worker) recv(from, wantReq int, what string) (message, error) {
 	case m = <-ch:
 	default:
 		h := w.ex.wd.block(w.proc, "recv", from, what)
+		blocked := w.ex.wall()
 		select {
 		case m = <-ch:
 			w.ex.wd.unblock(h)
+			if w.ex.rec != nil {
+				w.emit(trace.Wait, from, w.ex.wall()-blocked, 0, -1)
+			}
 		case <-w.ex.ctx.Done():
 			w.ex.wd.unblock(h)
 			return message{}, w.ex.ctx.Err()
@@ -394,6 +472,9 @@ func (w *worker) recv(from, wantReq int, what string) (message, error) {
 	if m.req != wantReq || m.seq != wantSeq {
 		return message{}, &ProtocolError{Proc: w.proc, From: from,
 			WantReq: wantReq, GotReq: m.req, WantSeq: wantSeq, GotSeq: m.seq, What: what}
+	}
+	if w.ex.rec != nil && m.req >= 0 && !w.mute {
+		w.emit(trace.Recv, from, 0, w.attrBytes, m.req)
 	}
 	return m, nil
 }
@@ -430,11 +511,36 @@ func (w *worker) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 				w.ex.mach.Exchange(op.Src, op.Dst, op.Bytes)
 			}
 		}
-		if err := w.vectorizedComm(req, op); err != nil {
+		if w.ex.rec != nil {
+			w.stampVectorized(req, op)
+		}
+		err = w.vectorizedComm(req, op)
+		w.clearAttr()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// stampVectorized sets the trace attribution for one hoisted requirement's
+// real traffic, mirroring the bytes the cost model charges per message; ring
+// slots of shift non-participants are muted (the cost model does not charge
+// them, and neither does the simulator's trace).
+func (w *worker) stampVectorized(req *comm.Requirement, op eval.VectorizedOp) {
+	switch op.Kind {
+	case eval.VecShift:
+		w.setAttr(req.Stmt.ID, req.Class, op.PerProc)
+		w.mute = op.Participants.Count() < 2 || !op.Participants.Contains(w.proc)
+	case eval.VecBcast:
+		w.setAttr(req.Stmt.ID, req.Class, op.Bytes)
+	case eval.VecExchange:
+		per := op.Bytes
+		if n := len(op.Src.Procs()); n > 0 && op.Bytes/int64(n) > 0 {
+			per = op.Bytes / int64(n)
+		}
+		w.setAttr(req.Stmt.ID, req.Class, per)
+	}
 }
 
 // vectorizedComm performs the real traffic of one hoisted requirement. The
@@ -535,6 +641,9 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 		if len(procs) < 2 || !set.Contains(w.proc) {
 			continue
 		}
+		if w.ex.rec != nil && m.Def != nil && m.Def.Stmt != nil {
+			w.setAttr(m.Def.Stmt.ID, dist.CommNone, 0)
+		}
 		what := "combine " + m.Def.Var.Name
 		root := procs[0]
 		bits := math.Float64bits(w.st.Scalars[m.Def.Var])
@@ -554,6 +663,11 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 					return err
 				}
 			}
+			if w.ex.rec != nil {
+				// One Reduce event per collective at the gathering root —
+				// structurally identical to the simulator's emission.
+				w.emit(trace.Reduce, -1, 0, w.elemBytes()*int64(len(procs)), -1)
+			}
 		} else {
 			if err := w.send(root, message{req: tagReduce, hasVal: true, bits: bits}, what); err != nil {
 				return err
@@ -567,6 +681,7 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 					Got: math.Float64frombits(got.bits), Want: w.st.Scalars[m.Def.Var]}
 			}
 		}
+		w.clearAttr()
 	}
 	return nil
 }
@@ -592,7 +707,12 @@ func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 				w.ex.mach.Multicast(op.From, op.Dst, op.Bytes)
 			}
 		}
-		if err := w.instanceComm(req, op); err != nil {
+		if w.ex.rec != nil {
+			w.setAttr(st.ID, req.Class, op.Bytes)
+		}
+		err = w.instanceComm(req, op)
+		w.clearAttr()
+		if err != nil {
 			return err
 		}
 	}
@@ -600,8 +720,17 @@ func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 	if err != nil {
 		return err
 	}
-	if w.accountant() && sp.Flops > 0 {
-		w.ex.mach.Compute(execSet, float64(sp.Flops)*w.ex.cfg.Params.FlopTime)
+	if sp.Flops > 0 {
+		if w.accountant() {
+			w.ex.mach.Compute(execSet, float64(sp.Flops)*w.ex.cfg.Params.FlopTime)
+		}
+		if w.ex.rec != nil && execSet.Contains(w.proc) {
+			// The slice duration is the cost model's charge — the useful,
+			// noise-free per-statement attribution for the timeline view.
+			w.setAttr(st.ID, dist.CommNone, 0)
+			w.emit(trace.Compute, -1, float64(sp.Flops)*w.ex.cfg.Params.FlopTime, 0, -1)
+			w.clearAttr()
+		}
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"phpf/internal/dist"
 	"phpf/internal/fault"
+	"phpf/internal/trace"
 )
 
 // Params are the machine cost parameters, in seconds and bytes/second.
@@ -114,11 +115,41 @@ type Machine struct {
 	// slowdowns into every cost below. Nil keeps the exact fault-free
 	// arithmetic (pay-for-what-you-use).
 	Fault *fault.Injector
+	// Rec, when non-nil, receives one trace event per modeled message,
+	// computation charge, collective, checkpoint, and fault — stamped with
+	// simulated time and the attribution set via SetAttr. Nil keeps the
+	// cost paths allocation- and emission-free.
+	Rec *trace.Recorder
+
+	// Attribution for subsequent charges (see SetAttr).
+	attrStmt  int32
+	attrReq   int32
+	attrClass dist.CommClass
 }
 
 // New creates a machine over the given grid.
 func New(grid *dist.Grid, p Params) *Machine {
-	return &Machine{Params: p, Grid: grid, Clock: make([]float64, grid.Size())}
+	return &Machine{Params: p, Grid: grid, Clock: make([]float64, grid.Size()),
+		attrStmt: -1, attrReq: -1}
+}
+
+// SetAttr stamps the statement, communication-plan requirement, and
+// communication class that subsequent charges realize; emitted events carry
+// them. Pass -1/-1/CommNone for unattributed charges.
+func (m *Machine) SetAttr(stmt, req int, class dist.CommClass) {
+	m.attrStmt, m.attrReq, m.attrClass = int32(stmt), int32(req), class
+}
+
+// ClearAttr resets the attribution to "none".
+func (m *Machine) ClearAttr() { m.SetAttr(-1, -1, dist.CommNone) }
+
+// emit records one event with the current attribution (callers guard on
+// m.Rec != nil so the disabled path stays a single branch).
+func (m *Machine) emit(k trace.Kind, proc, peer int, t, dur float64, bytes int64) {
+	m.Rec.Emit(0, trace.Event{
+		Time: t, Dur: dur, Bytes: bytes, Kind: k, Class: m.attrClass,
+		Proc: int32(proc), Peer: int32(peer), Stmt: m.attrStmt, Req: m.attrReq,
+	})
 }
 
 // NProcs returns the processor count.
@@ -143,23 +174,37 @@ func (m *Machine) Compute(set dist.ProcSet, t float64) {
 	if m.Fault != nil && m.Fault.HasSlowdowns() {
 		if set.IsAll() {
 			for i := range m.Clock {
-				m.Clock[i] += t * m.Fault.SlowFactor(i, m.Clock[i])
+				d := t * m.Fault.SlowFactor(i, m.Clock[i])
+				m.Clock[i] += d
+				if m.Rec != nil {
+					m.emit(trace.Compute, i, -1, m.Clock[i], d, 0)
+				}
 			}
 			return
 		}
 		for _, p := range set.Procs() {
-			m.Clock[p] += t * m.Fault.SlowFactor(p, m.Clock[p])
+			d := t * m.Fault.SlowFactor(p, m.Clock[p])
+			m.Clock[p] += d
+			if m.Rec != nil {
+				m.emit(trace.Compute, p, -1, m.Clock[p], d, 0)
+			}
 		}
 		return
 	}
 	if set.IsAll() {
 		for i := range m.Clock {
 			m.Clock[i] += t
+			if m.Rec != nil {
+				m.emit(trace.Compute, i, -1, m.Clock[i], t, 0)
+			}
 		}
 		return
 	}
 	for _, p := range set.Procs() {
 		m.Clock[p] += t
+		if m.Rec != nil {
+			m.emit(trace.Compute, p, -1, m.Clock[p], t, 0)
+		}
 	}
 }
 
@@ -169,6 +214,9 @@ func (m *Machine) ComputeProc(p int, t float64) {
 		t *= m.Fault.SlowFactor(p, m.Clock[p])
 	}
 	m.Clock[p] += t
+	if m.Rec != nil {
+		m.emit(trace.Compute, p, -1, m.Clock[p], t, 0)
+	}
 }
 
 // retransmitDelay draws the loss decisions for one message and returns the
@@ -189,6 +237,9 @@ func (m *Machine) retransmitDelay(from int, bytes int64) float64 {
 		m.Stats.BytesMoved += bytes
 		if from >= 0 {
 			m.Clock[from] += m.Params.Overhead
+			if m.Rec != nil {
+				m.emit(trace.Fault, from, -1, m.Clock[from], 0, bytes)
+			}
 		}
 		delay += rto
 		rto *= 2
@@ -199,6 +250,9 @@ func (m *Machine) retransmitDelay(from int, bytes int64) float64 {
 		m.Stats.BytesMoved += bytes
 		if from >= 0 {
 			m.Clock[from] += m.Params.Overhead
+			if m.Rec != nil {
+				m.emit(trace.Fault, from, -1, m.Clock[from], 0, bytes)
+			}
 		}
 	}
 	return delay
@@ -219,6 +273,11 @@ func (m *Machine) collectiveFaultDelay(k int, bytes int64) float64 {
 	m.Stats.Retransmits += int64(drops)
 	m.Stats.Messages += int64(drops)
 	m.Stats.BytesMoved += bytes * int64(drops)
+	if m.Rec != nil {
+		for i := 0; i < drops; i++ {
+			m.emit(trace.Fault, -1, -1, m.Time(), 0, bytes)
+		}
+	}
 	return float64(drops) * m.Fault.BaseRTO(m.Params.Latency)
 }
 
@@ -233,6 +292,13 @@ func (m *Machine) Send(from, to int, bytes int64) {
 	m.Stats.PointToPoint++
 	m.Stats.BytesMoved += bytes
 	if from == to {
+		// A local (owner = executor) delivery still traces as a send/recv
+		// pair so both backends' event counts agree (the concurrent backend
+		// really transfers it over the self edge).
+		if m.Rec != nil {
+			m.emit(trace.Send, from, to, m.Clock[from], 0, bytes)
+			m.emit(trace.Recv, to, from, m.Clock[to], 0, bytes)
+		}
 		return
 	}
 	depart := m.Clock[from]
@@ -241,6 +307,10 @@ func (m *Machine) Send(from, to int, bytes int64) {
 	arrive := depart + m.xferTime(bytes)
 	if arrive > m.Clock[to] {
 		m.Clock[to] = arrive
+	}
+	if m.Rec != nil {
+		m.emit(trace.Send, from, to, depart, 0, bytes)
+		m.emit(trace.Recv, to, from, arrive, 0, bytes)
 	}
 }
 
@@ -262,6 +332,7 @@ func (m *Machine) Multicast(from int, dst dist.ProcSet, bytes int64) {
 	m.Stats.Broadcasts++
 	m.Stats.Messages += int64(k)
 	m.Stats.BytesMoved += bytes * int64(k)
+	start := m.Clock[from]
 	cost := float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
 	cost += m.collectiveFaultDelay(k, bytes)
 	done := m.Clock[from] + cost
@@ -272,6 +343,13 @@ func (m *Machine) Multicast(from int, dst dist.ProcSet, bytes int64) {
 		}
 		if done > m.Clock[p] {
 			m.Clock[p] = done
+		}
+		if m.Rec != nil {
+			// The tree multicast delivers one logical message per destination
+			// — the same k send/recv pairs the concurrent backend's root
+			// really transmits.
+			m.emit(trace.Send, from, p, start, 0, bytes)
+			m.emit(trace.Recv, p, from, done, 0, bytes)
 		}
 	}
 }
@@ -289,11 +367,19 @@ func (m *Machine) Shift(set dist.ProcSet, bytesPerProc int64) {
 	m.Stats.Messages += int64(len(procs))
 	m.Stats.BytesMoved += bytesPerProc * int64(len(procs))
 	cost := m.Params.Overhead + m.xferTime(bytesPerProc)
+	// emitShift records participant i's ring transfer: a send to the next
+	// participant and a receive from the previous one — the same (p±1) ring
+	// the concurrent backend's workers actually exchange on.
+	emitShift := func(i int, depart, arrive float64) {
+		k := len(procs)
+		m.emit(trace.Send, procs[i], procs[(i+1)%k], depart, 0, bytesPerProc)
+		m.emit(trace.Recv, procs[i], procs[(i-1+k)%k], arrive, 0, bytesPerProc)
+	}
 	if m.Fault != nil {
 		// Each participant's message is lost independently; a lost shift
 		// stalls only its own receiver-sender pair.
 		rto := m.Fault.BaseRTO(m.Params.Latency)
-		for _, p := range procs {
+		for i, p := range procs {
 			extra := 0.0
 			r := rto
 			const maxRetries = 16
@@ -304,12 +390,20 @@ func (m *Machine) Shift(set dist.ProcSet, bytesPerProc int64) {
 				extra += r
 				r *= 2
 			}
+			depart := m.Clock[p]
 			m.Clock[p] += cost + extra
+			if m.Rec != nil {
+				emitShift(i, depart, m.Clock[p])
+			}
 		}
 		return
 	}
-	for _, p := range procs {
+	for i, p := range procs {
+		depart := m.Clock[p]
 		m.Clock[p] += cost
+		if m.Rec != nil {
+			emitShift(i, depart, m.Clock[p])
+		}
 	}
 }
 
@@ -332,10 +426,17 @@ func (m *Machine) Reduce(set dist.ProcSet, bytes int64) {
 			t = m.Clock[p]
 		}
 	}
+	start := t
 	t += float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
 	t += m.collectiveFaultDelay(rounds, bytes)
 	for _, p := range procs {
 		m.Clock[p] = t
+	}
+	if m.Rec != nil {
+		// One Reduce event per collective, attributed to the root the
+		// concurrent backend gathers on (procs[0]); Bytes is the combined
+		// contribution of all participants.
+		m.emit(trace.Reduce, procs[0], -1, t, t-start, bytes*int64(len(procs)))
 	}
 }
 
@@ -362,6 +463,13 @@ func (m *Machine) AllToAll(set dist.ProcSet, bytesPerProc int64) {
 	t += m.collectiveFaultDelay(k*(k-1), bytesPerProc)
 	for _, p := range procs {
 		m.Clock[p] = t
+		if m.Rec != nil {
+			// One collective-participation event per processor (Peer = -1, no
+			// requirement attribution: the concurrent backend realizes a
+			// redistribution with its own barrier protocol, so these events
+			// are outside the cross-backend parity set).
+			m.emit(trace.Send, p, -1, t, 0, bytesPerProc)
+		}
 	}
 }
 
@@ -399,6 +507,7 @@ func (m *Machine) Exchange(src, dst dist.ProcSet, totalBytes int64) {
 		m.Clock[p] += m.Params.Overhead
 	}
 	arrive := depart + m.xferTime(per) + m.collectiveFaultDelay(recv, per)
+	i := 0
 	for _, p := range dstProcs {
 		if src.Contains(p) {
 			continue
@@ -406,6 +515,15 @@ func (m *Machine) Exchange(src, dst dist.ProcSet, totalBytes int64) {
 		if arrive > m.Clock[p] {
 			m.Clock[p] = arrive
 		}
+		if m.Rec != nil {
+			// Receiver i is fed by source i%len(srcProcs) — the same
+			// round-robin pairing the concurrent backend uses to realize a
+			// vectorized general exchange with one message per destination.
+			s := srcProcs[i%len(srcProcs)]
+			m.emit(trace.Send, s, p, depart, 0, per)
+			m.emit(trace.Recv, p, s, arrive, 0, per)
+		}
+		i++
 	}
 }
 
@@ -427,6 +545,9 @@ func (m *Machine) Checkpoint(bytesPerProc []int64) {
 		}
 		m.Stats.CheckpointBytes += b
 		m.Clock[p] = t + m.Params.Latency + float64(b)/m.Params.Bandwidth
+		if m.Rec != nil {
+			m.emit(trace.Checkpoint, p, -1, m.Clock[p], m.Clock[p]-t, b)
+		}
 	}
 }
 
@@ -446,6 +567,9 @@ func (m *Machine) Recover(p int, lost float64, refetchBytes, msgs int64) {
 	m.Stats.Crashes++
 	m.Stats.RecoveryBytes += refetchBytes
 	m.Stats.RecoveryMessages += msgs
+	if m.Rec != nil {
+		m.emit(trace.Fault, p, -1, t, 0, 0)
+	}
 	t += lost // coordinated re-execution of the lost interval
 	for i := range m.Clock {
 		m.Clock[i] = t
@@ -453,6 +577,9 @@ func (m *Machine) Recover(p int, lost float64, refetchBytes, msgs int64) {
 	if msgs > 0 {
 		m.Clock[p] = t + float64(msgs)*(m.Params.Latency+m.Params.Overhead) +
 			float64(refetchBytes)/m.Params.Bandwidth
+	}
+	if m.Rec != nil {
+		m.emit(trace.Restart, p, -1, m.Clock[p], lost, refetchBytes)
 	}
 }
 

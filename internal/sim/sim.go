@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"phpf/internal/ir"
 	"phpf/internal/machine"
 	"phpf/internal/spmd"
+	"phpf/internal/trace"
 )
 
 // Config controls a simulation run.
@@ -49,6 +51,9 @@ type Config struct {
 	// processor refetches aligned and partitioned state, while replicated
 	// state restores locally.
 	CheckpointInterval float64
+	// Trace, when non-nil, records runtime events (stamped with simulated
+	// time) into Result.Trace. Nil keeps the event path emission-free.
+	Trace *trace.Options
 }
 
 // Validate rejects configurations that cannot describe a run, mirroring
@@ -95,6 +100,11 @@ type Result struct {
 	// Profile holds per-statement attribution when Config.Profile was set,
 	// sorted by descending Seconds.
 	Profile []StmtProfile
+
+	// Trace holds the recorded event stream when Config.Trace was set
+	// (nil otherwise). The simulator emits into a single shard, so
+	// Trace.Events() is the exact deterministic program-order stream.
+	Trace *trace.Recorder
 }
 
 // errAbort signals the MaxSeconds cutoff internally.
@@ -104,6 +114,13 @@ func (errAbort) Error() string { return "simulated time limit exceeded" }
 
 // Run executes the program with cfg.
 func Run(p *spmd.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext executes the program with cfg under a context: cancellation
+// aborts the simulation between events (at iteration and communication
+// boundaries) and returns ctx.Err().
+func RunContext(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("sim: nil program")
 	}
@@ -137,6 +154,7 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	in := &interp{
+		ctx:  ctx,
 		prog: p,
 		cfg:  cfg,
 		st:   st,
@@ -144,6 +162,11 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 		inj:  fault.NewInjector(cfg.Fault),
 	}
 	in.mach.Fault = in.inj
+	if cfg.Trace != nil {
+		rec := trace.New(nprocs, 1, *cfg.Trace)
+		rec.SetLabels(p.StmtLabels())
+		in.mach.Rec = rec
+	}
 	if cfg.Profile {
 		in.profile = map[*ir.Stmt]*StmtProfile{}
 	}
@@ -156,6 +179,8 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: goto %d escaped the program", ge.Label)
 		case errors.Is(err, errAbort{}):
 			aborted = true
+		case errors.Is(err, ctx.Err()) && ctx.Err() != nil:
+			return nil, err
 		default:
 			return nil, simError(err)
 		}
@@ -166,6 +191,7 @@ func Run(p *spmd.Program, cfg Config) (*Result, error) {
 		Aborted: aborted,
 		Scalars: map[string]float64{},
 		Arrays:  map[string][]float64{},
+		Trace:   in.mach.Rec,
 	}
 	for v, x := range st.Scalars {
 		res.Scalars[v.Name] = x
@@ -196,6 +222,7 @@ func simError(err error) error {
 // interp drives the simulated machine from the shared walker: it implements
 // eval.Backend, charging compute and communication costs at every event.
 type interp struct {
+	ctx  context.Context
 	prog *spmd.Program
 	cfg  Config
 	st   *eval.State
@@ -238,6 +265,9 @@ func (in *interp) attribute(st *ir.Stmt, fn func() error) error {
 }
 
 func (in *interp) checkTime() error {
+	if err := in.ctx.Err(); err != nil {
+		return err
+	}
 	if in.inj != nil {
 		// Fire any fail-stop crashes whose time has been reached. Recovery
 		// advances the clocks, which may bring the next scheduled crash
@@ -278,6 +308,7 @@ func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 			if err != nil {
 				return err
 			}
+			in.mach.SetAttr(req.Stmt.ID, req.ID, req.Class)
 			switch op.Kind {
 			case eval.VecSkip:
 				return nil
@@ -293,6 +324,7 @@ func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 			return err
 		}
 	}
+	in.mach.ClearAttr()
 	return nil
 }
 
@@ -300,8 +332,14 @@ func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 	for _, m := range lp.Combines {
 		set := in.st.PatternSet(m.Pattern, nil)
+		stmt := -1
+		if m.Def != nil && m.Def.Stmt != nil {
+			stmt = m.Def.Stmt.ID
+		}
+		in.mach.SetAttr(stmt, -1, dist.CommNone)
 		in.mach.Reduce(set, int64(in.cfg.Params.ElemBytes))
 	}
+	in.mach.ClearAttr()
 	return nil
 }
 
@@ -310,6 +348,7 @@ func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 func (in *interp) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 	do := func() error {
 		for _, req := range sp.PerInstance {
+			in.mach.SetAttr(st.ID, req.ID, req.Class)
 			op, err := in.st.InstanceOp(req, sp, int64(in.cfg.Params.ElemBytes))
 			if err != nil {
 				return err
@@ -338,8 +377,10 @@ func (in *interp) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 			return err
 		}
 		if sp.Flops > 0 {
+			in.mach.SetAttr(st.ID, -1, dist.CommNone)
 			in.mach.Compute(execSet, float64(sp.Flops)*in.cfg.Params.FlopTime)
 		}
+		in.mach.ClearAttr()
 		return nil
 	}
 	if in.profile != nil {
@@ -352,7 +393,9 @@ func (in *interp) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 // (the mapping update has already been applied to the state).
 func (in *interp) Redistribute(st *ir.Stmt) error {
 	per := in.st.RedistBytesPerProc(st, int64(in.cfg.Params.ElemBytes))
+	in.mach.SetAttr(st.ID, -1, dist.CommGeneral)
 	in.mach.AllToAll(dist.AllProcs(in.st.Grid()), per)
+	in.mach.ClearAttr()
 	return in.checkTime()
 }
 
@@ -371,6 +414,7 @@ func (in *interp) maybeCheckpoint() {
 	if now-in.lastCkpt < in.cfg.CheckpointInterval {
 		return
 	}
+	in.mach.ClearAttr()
 	in.mach.Checkpoint(in.checkpointBytes())
 	in.lastCkpt = in.mach.Time()
 }

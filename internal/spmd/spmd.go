@@ -123,6 +123,21 @@ func (p *Program) Grid() *dist.Grid { return p.Res.Mapping.Grid }
 // degree of parallelism a faithful executor must provide.
 func (p *Program) NProcs() int { return p.Res.Mapping.Grid.Size() }
 
+// StmtLabels returns a human-readable label per statement ID ("s3 line 7
+// a(i) = ..."), used by the trace recorder to attribute runtime events back
+// to source statements.
+func (p *Program) StmtLabels() map[int]string {
+	out := make(map[int]string, len(p.Res.Prog.Stmts))
+	for _, st := range p.Res.Prog.Stmts {
+		label := fmt.Sprintf("s%d", st.ID)
+		if st.Line > 0 {
+			label += fmt.Sprintf(" line %d", st.Line)
+		}
+		out[st.ID] = label + " " + describeStmt(st)
+	}
+	return out
+}
+
 // Generate builds the SPMD program for a mapping result.
 func Generate(res *core.Result) *Program {
 	plan := comm.Analyze(res)

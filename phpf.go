@@ -4,14 +4,16 @@
 // prototype compiler (scalar alignment selection, reduction mapping, full
 // and partial array privatization, control-flow privatization), SPMD code
 // generation under the owner-computes rule with message vectorization, and
-// a deterministic IBM SP2-style machine simulator that executes the
-// compiled programs and reports execution time and communication activity.
+// two execution backends behind one Backend interface — a deterministic IBM
+// SP2-style machine simulator and a concurrent goroutine-per-processor
+// executor — with a shared runtime observability layer (event tracing and
+// communication metrics, see internal/trace).
 //
 // Typical use:
 //
 //	c, err := phpf.Compile(source, 16, phpf.SelectedOptions())
-//	out, err := c.Run(phpf.RunConfig{})
-//	fmt.Println(out.Time, out.Stats)
+//	rep, err := c.Execute(ctx, phpf.Simulator(), phpf.RunOptions{})
+//	fmt.Println(rep.Time, rep.Stats)
 package phpf
 
 import (
@@ -33,6 +35,7 @@ import (
 	"phpf/internal/programs"
 	"phpf/internal/sim"
 	"phpf/internal/spmd"
+	"phpf/internal/trace"
 )
 
 // Re-exported option types: one import suffices for the whole API.
@@ -63,6 +66,21 @@ type (
 	Crash = fault.Crash
 	// Slowdown is a transient per-processor compute slowdown.
 	Slowdown = fault.Slowdown
+	// TraceOptions configures runtime event tracing (see trace.Options):
+	// ring capacity and 1-in-N sampling. The derived counters stay exact
+	// regardless.
+	TraceOptions = trace.Options
+	// TraceRecorder is the recorded event stream of one run plus its exact
+	// derived metrics (per-class totals, the P×P communication matrix,
+	// per-statement histograms, Chrome trace_event export).
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded runtime event.
+	TraceEvent = trace.Event
+	// TraceCommMatrix is the P×P planned-communication matrix snapshot.
+	TraceCommMatrix = trace.CommMatrix
+	// StmtProfile is one statement's share of simulated activity (the
+	// hot-statement view, see Report.HotStatements).
+	StmtProfile = sim.StmtProfile
 )
 
 // Diagnostic severities.
@@ -149,7 +167,230 @@ func Compile(source string, nprocs int, opts Options) (*Compiled, error) {
 	}, nil
 }
 
+// ---------------------------------------------------------------------------
+// The unified execution API: RunOptions → Backend → Report
+
+// RunOptions configures one execution on either backend — the merger of the
+// former RunConfig (simulator) and ExecConfig (concurrent executor). Fields
+// a backend does not support are rejected with a coded E005 diagnostic, not
+// silently ignored.
+type RunOptions struct {
+	// Params are the machine cost parameters (SP2Params() when zero); both
+	// backends use them — the simulator to advance its clocks, the
+	// concurrent executor for its deterministic statistics replay.
+	Params MachineParams
+
+	// MaxSeconds aborts once simulated time exceeds it (0 = unlimited) —
+	// the paper's "> 1 day (aborted)" entries. Simulator only: the
+	// concurrent backend bounds wall time via the context deadline instead.
+	MaxSeconds float64
+	// Profile collects the per-statement hot-statement view
+	// (Report.HotStatements). Simulator only.
+	Profile bool
+	// Fault, when non-nil and active, injects deterministic faults
+	// (message loss/duplication, slowdowns, crashes). Simulator only.
+	Fault *FaultPlan
+	// CheckpointInterval enables coordinated checkpointing every so many
+	// simulated seconds (0 = off). Simulator only.
+	CheckpointInterval float64
+
+	// Workers is the concurrent backend's worker count (0 = the program's
+	// processor count; any other value but the processor count itself is
+	// rejected). Concurrent only.
+	Workers int
+	// MailboxDepth bounds each directed mailbox (0 = default). Concurrent
+	// only.
+	MailboxDepth int
+	// StallTimeout is the concurrent backend's watchdog quiet period
+	// (0 = default, negative = disabled). Concurrent only.
+	StallTimeout time.Duration
+
+	// Trace, when non-nil, records runtime events into Report.Trace: the
+	// simulator stamps simulated time, the concurrent executor wall time.
+	// Nil keeps the event path of both backends emission- and
+	// allocation-free.
+	Trace *TraceOptions
+}
+
+// Report is the backend-independent outcome of one execution.
+type Report struct {
+	// Backend names the backend that produced the report ("sim" or
+	// "concurrent").
+	Backend string
+	// Time is the simulated execution time (the concurrent backend reports
+	// its deterministic cost-model replay, identical to the simulator's).
+	Time float64
+	// Stats aggregates the modeled communication activity.
+	Stats Stats
+	// Aborted reports a MaxSeconds cutoff (simulator only).
+	Aborted bool
+
+	// Final memory, for validation against reference implementations.
+	Scalars map[string]float64
+	Arrays  map[string][]float64
+
+	// HotStatements is the per-statement time attribution, sorted hottest
+	// first (simulator with Profile on; nil otherwise).
+	HotStatements []StmtProfile
+
+	// Workers is the number of worker goroutines that ran (concurrent
+	// backend; 0 from the simulator).
+	Workers int
+	// TrafficMessages counts real channel messages exchanged (concurrent
+	// backend; 0 from the simulator).
+	TrafficMessages int64
+
+	// Trace is the recorded event stream when RunOptions.Trace was set
+	// (nil otherwise).
+	Trace *TraceRecorder
+}
+
+// Backend is one way of executing a compiled SPMD program. Both built-in
+// backends — Simulator() and Concurrent() — implement it, so tools and tests
+// can be written once against the interface; a trace recorder plugs into any
+// backend the same way (RunOptions.Trace).
+type Backend interface {
+	// Name identifies the backend ("sim", "concurrent").
+	Name() string
+	// Run executes the program. Cancellation or deadline on ctx aborts the
+	// run: the simulator checks between events (iteration and communication
+	// boundaries), the concurrent executor unwinds every worker.
+	Run(ctx context.Context, p *spmd.Program, opts RunOptions) (*Report, error)
+}
+
+// Simulator returns the sequential simulated-machine backend.
+func Simulator() Backend { return simulatorBackend{} }
+
+// Concurrent returns the concurrent goroutine-per-processor backend.
+func Concurrent() Backend { return concurrentBackend{} }
+
+// Backends lists the built-in backend names, in presentation order.
+func Backends() []string { return []string{"sim", "concurrent"} }
+
+// BackendByName resolves a backend name ("sim", "concurrent").
+func BackendByName(name string) (Backend, bool) {
+	switch name {
+	case "sim":
+		return Simulator(), true
+	case "concurrent":
+		return Concurrent(), true
+	}
+	return nil, false
+}
+
+// Execute runs the compiled program on the given backend.
+func (c *Compiled) Execute(ctx context.Context, b Backend, opts RunOptions) (*Report, error) {
+	return b.Run(ctx, c.SPMD, opts)
+}
+
+// configErr builds the coded E005 diagnostic for an invalid run
+// configuration.
+func configErr(backend, format string, args ...any) error {
+	return diag.Errorf(backend, diag.CodeConfig, diag.Pos{}, format, args...)
+}
+
+type simulatorBackend struct{}
+
+func (simulatorBackend) Name() string { return "sim" }
+
+func (simulatorBackend) Run(ctx context.Context, p *spmd.Program, opts RunOptions) (*Report, error) {
+	if opts.Workers != 0 || opts.MailboxDepth != 0 || opts.StallTimeout != 0 {
+		return nil, configErr("sim", "Workers/MailboxDepth/StallTimeout configure the concurrent backend; the simulator takes none")
+	}
+	res, err := sim.RunContext(ctx, p, sim.Config{
+		Params:             opts.Params,
+		MaxSeconds:         opts.MaxSeconds,
+		Profile:            opts.Profile,
+		Fault:              opts.Fault,
+		CheckpointInterval: opts.CheckpointInterval,
+		Trace:              opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Backend:       "sim",
+		Time:          res.Time,
+		Stats:         res.Stats,
+		Aborted:       res.Aborted,
+		Scalars:       res.Scalars,
+		Arrays:        res.Arrays,
+		HotStatements: res.Profile,
+		Trace:         res.Trace,
+	}, nil
+}
+
+type concurrentBackend struct{}
+
+func (concurrentBackend) Name() string { return "concurrent" }
+
+func (concurrentBackend) Run(ctx context.Context, p *spmd.Program, opts RunOptions) (*Report, error) {
+	switch {
+	case opts.Fault.Active():
+		return nil, configErr("exec", "fault injection is simulator-only; the concurrent backend runs fault-free")
+	case opts.CheckpointInterval > 0:
+		return nil, configErr("exec", "checkpointing is simulator-only; the concurrent backend takes none")
+	case opts.MaxSeconds > 0:
+		return nil, configErr("exec", "MaxSeconds bounds simulated time; bound the concurrent backend with a context deadline")
+	case opts.Profile:
+		return nil, configErr("exec", "per-statement profiling is simulator-only; trace the run instead (RunOptions.Trace)")
+	}
+	res, err := exec.Run(ctx, p, exec.Config{
+		Params:       opts.Params,
+		Workers:      opts.Workers,
+		MailboxDepth: opts.MailboxDepth,
+		StallTimeout: opts.StallTimeout,
+		Trace:        opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Backend:         "concurrent",
+		Time:            res.Time,
+		Stats:           res.Stats,
+		Scalars:         res.Scalars,
+		Arrays:          res.Arrays,
+		Workers:         res.Workers,
+		TrafficMessages: res.TrafficMessages,
+		Trace:           res.Trace,
+	}, nil
+}
+
+// Diff runs the program through both backends — optionally traced — and
+// compares numeric results, communication statistics, and (when traced)
+// per-class event counts bit-for-bit. opts must be fault-free with
+// checkpointing off; violations return a coded E005 diagnostic.
+func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, error) {
+	if opts.Fault.Active() {
+		return nil, configErr("differ", "the differential oracle requires a fault-free configuration (Fault is simulator-only and perturbs the comparison)")
+	}
+	if opts.CheckpointInterval > 0 {
+		return nil, configErr("differ", "the differential oracle requires checkpointing off (the concurrent backend takes none)")
+	}
+	d := exec.Differ{
+		Sim: sim.Config{
+			Params:     opts.Params,
+			MaxSeconds: opts.MaxSeconds,
+			Profile:    opts.Profile,
+		},
+		Exec: exec.Config{
+			Params:       opts.Params,
+			Workers:      opts.Workers,
+			MailboxDepth: opts.MailboxDepth,
+			StallTimeout: opts.StallTimeout,
+		},
+		Trace: opts.Trace,
+	}
+	return d.Run(ctx, c.SPMD)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated entry points (thin wrappers over the Backend API)
+
 // RunConfig configures a simulation.
+//
+// Deprecated: use RunOptions with Execute and the Simulator() backend.
 type RunConfig struct {
 	// Params are the machine cost parameters (SP2Params() when zero).
 	Params MachineParams
@@ -169,9 +410,14 @@ type RunConfig struct {
 }
 
 // RunResult is the outcome of a simulated execution.
+//
+// Deprecated: use Report, the backend-independent result of Execute.
 type RunResult = sim.Result
 
 // Run executes the compiled program on the simulated machine.
+//
+// Deprecated: use Execute with the Simulator() backend, which is also
+// context-aware.
 func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
 	return sim.Run(c.SPMD, sim.Config{
 		Params:             cfg.Params,
@@ -182,12 +428,14 @@ func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
 	})
 }
 
-// ExecConfig configures the concurrent execution backend (see exec.Config):
-// worker count, mailbox depth, and the stall-watchdog timeout. Cancellation
-// and deadlines come from the context passed to RunConcurrent.
+// ExecConfig configures the concurrent execution backend (see exec.Config).
+//
+// Deprecated: use RunOptions with Execute and the Concurrent() backend.
 type ExecConfig = exec.Config
 
 // ExecResult is the outcome of a concurrent execution (see exec.Result).
+//
+// Deprecated: use Report, the backend-independent result of Execute.
 type ExecResult = exec.Result
 
 // DiffReport is the outcome of a differential sim-vs-exec run (see
@@ -195,10 +443,9 @@ type ExecResult = exec.Result
 type DiffReport = exec.DiffReport
 
 // RunConcurrent executes the compiled program on the concurrent SPMD
-// backend: one goroutine per simulated processor exchanging real messages
-// over bounded mailboxes, with panic containment, a stall watchdog, and
-// context-based cancellation/deadline enforcement. Fault injection and
-// checkpointing are simulator-only features; use Run for those.
+// backend.
+//
+// Deprecated: use Execute with the Concurrent() backend.
 func (c *Compiled) RunConcurrent(ctx context.Context, cfg ExecConfig) (*ExecResult, error) {
 	return exec.Run(ctx, c.SPMD, cfg)
 }
@@ -206,15 +453,22 @@ func (c *Compiled) RunConcurrent(ctx context.Context, cfg ExecConfig) (*ExecResu
 // DiffBackends runs the program through both the sequential simulator and
 // the concurrent executor and compares numeric results and communication
 // statistics bit-for-bit — the differential oracle that keeps the two
-// backends honest. simCfg must be fault-free with checkpointing off.
+// backends honest. simCfg must be fault-free with checkpointing off;
+// violations return a coded E005 diagnostic instead of being forwarded.
+//
+// Deprecated: use Diff, which also supports traced comparison.
 func (c *Compiled) DiffBackends(ctx context.Context, simCfg RunConfig, execCfg ExecConfig) (*DiffReport, error) {
+	if simCfg.Fault.Active() {
+		return nil, configErr("differ", "the differential oracle requires a fault-free simulator config (Fault was set)")
+	}
+	if simCfg.CheckpointInterval > 0 {
+		return nil, configErr("differ", "the differential oracle requires checkpointing off (CheckpointInterval was %v)", simCfg.CheckpointInterval)
+	}
 	d := exec.Differ{
 		Sim: sim.Config{
-			Params:             simCfg.Params,
-			MaxSeconds:         simCfg.MaxSeconds,
-			Profile:            simCfg.Profile,
-			Fault:              simCfg.Fault,
-			CheckpointInterval: simCfg.CheckpointInterval,
+			Params:     simCfg.Params,
+			MaxSeconds: simCfg.MaxSeconds,
+			Profile:    simCfg.Profile,
 		},
 		Exec: execCfg,
 	}
@@ -236,11 +490,14 @@ func (c *Compiled) Diags() []Diagnostic {
 // SPMD generation step, and any snapshots requested via Options.DumpAfter.
 func (c *Compiled) Profile() *CompileProfile { return c.Result.Profile }
 
-// FormatProfile renders a profile as a hot-statement table (top n entries).
-func FormatProfile(prof []sim.StmtProfile, n int) string {
+// FormatHotStatements renders the per-statement time attribution
+// (Report.HotStatements) as a table of the top n hottest statements. The
+// name disambiguates the two profiles: Profile() is the compile-time
+// CompileProfile, HotStatements the runtime view.
+func FormatHotStatements(hot []StmtProfile, n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%8s %12s %10s  statement\n", "line", "instances", "seconds")
-	for i, p := range prof {
+	for i, p := range hot {
 		if i >= n {
 			break
 		}
@@ -250,8 +507,37 @@ func FormatProfile(prof []sim.StmtProfile, n int) string {
 	return b.String()
 }
 
+// FormatProfile renders a hot-statement table.
+//
+// Deprecated: use FormatHotStatements (this alias renders the runtime
+// statement view, not the compile-time Profile()).
+func FormatProfile(prof []sim.StmtProfile, n int) string {
+	return FormatHotStatements(prof, n)
+}
+
 // DumpSPMD renders the generated SPMD program (guards and communication).
 func (c *Compiled) DumpSPMD() string { return c.SPMD.Dump() }
+
+// StmtLabels returns the statement-ID → human-readable-label table that
+// trace events and summaries reference (the same labels a TraceRecorder
+// attaches to its events).
+func (c *Compiled) StmtLabels() map[int]string { return c.SPMD.StmtLabels() }
+
+// FormatStmtLabels renders the statement-label table in ID order — the key
+// for reading per-statement trace histograms and Chrome trace exports.
+func (c *Compiled) FormatStmtLabels() string {
+	labels := c.StmtLabels()
+	ids := make([]int, 0, len(labels))
+	for id := range labels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%4d  %s\n", id, labels[id])
+	}
+	return b.String()
+}
 
 // MappingReport lists every mapping decision: scalar definitions, privatized
 // arrays, and control flow statements.

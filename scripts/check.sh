@@ -17,10 +17,11 @@ fuzztime="${FUZZTIME:-10s}"
 go test -run=^$ -fuzz=FuzzLex -fuzztime="$fuzztime" ./internal/lexer
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
 
-# Golden-dump gate: the -dump-after snapshots of the paper figures must
+# Golden gate: the -dump-after snapshots of the paper figures AND the
+# simulator's rendered runtime trace of figure1 (testdata/traces/) must
 # match the checked-in golden files byte for byte (determinism + stability
-# of the pass pipeline's textual form). `go test -update .` refreshes them
-# after an intentional change.
+# of the pass pipeline's textual form and of the trace layer's event
+# stream). `go test -update .` refreshes them after an intentional change.
 go test -run '^TestGolden' .
 
 echo "check: OK"

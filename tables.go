@@ -23,17 +23,18 @@ func (c Cell) String() string {
 	return fmt.Sprintf("%.4f", c.Seconds)
 }
 
-// runCell compiles and simulates one configuration.
-func runCell(source string, nprocs int, opts Options, cfg RunConfig) (Cell, error) {
+// runCell compiles and simulates one configuration through the unified
+// Backend API.
+func runCell(source string, nprocs int, opts Options, run RunOptions) (Cell, error) {
 	c, err := Compile(source, nprocs, opts)
 	if err != nil {
 		return Cell{}, err
 	}
-	out, err := c.Run(cfg)
+	rep, err := c.Execute(context.Background(), Simulator(), run)
 	if err != nil {
 		return Cell{}, err
 	}
-	return Cell{Seconds: out.Time, Aborted: out.Aborted, Stats: out.Stats}, nil
+	return Cell{Seconds: rep.Time, Aborted: rep.Aborted, Stats: rep.Stats}, nil
 }
 
 // cellJob is one table cell to fill concurrently.
@@ -42,9 +43,9 @@ type cellJob struct {
 	nprocs int
 	opts   Options
 	dst    *Cell
-	// cfg, when non-nil, overrides the default run configuration built
+	// run, when non-nil, overrides the default run configuration built
 	// from maxSeconds (fault sweeps set it).
-	cfg *RunConfig
+	run *RunOptions
 }
 
 // runCells fills all cells concurrently — every cell is an independent
@@ -58,11 +59,11 @@ func runCells(jobs []cellJob, maxSeconds float64) error {
 		wg.Add(1)
 		go func(j cellJob) {
 			defer wg.Done()
-			cfg := RunConfig{MaxSeconds: maxSeconds}
-			if j.cfg != nil {
-				cfg = *j.cfg
+			run := RunOptions{MaxSeconds: maxSeconds}
+			if j.run != nil {
+				run = *j.run
 			}
-			cell, err := runCell(j.source, j.nprocs, j.opts, cfg)
+			cell, err := runCell(j.source, j.nprocs, j.opts, run)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -227,11 +228,11 @@ func FaultSweep(source string, nprocs int, lossRates []float64, seed int64, maxS
 		rows[i].Strategy = s.name
 		rows[i].Cells = make([]Cell, len(lossRates))
 		for k, rate := range lossRates {
-			cfg := &RunConfig{MaxSeconds: maxSeconds}
+			run := &RunOptions{MaxSeconds: maxSeconds}
 			if rate > 0 {
-				cfg.Fault = &FaultPlan{Seed: seed, LossRate: rate}
+				run.Fault = &FaultPlan{Seed: seed, LossRate: rate}
 			}
-			jobs = append(jobs, cellJob{source, nprocs, s.opts, &rows[i].Cells[k], cfg})
+			jobs = append(jobs, cellJob{source, nprocs, s.opts, &rows[i].Cells[k], run})
 		}
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
@@ -339,6 +340,76 @@ func DiffSweep(ctx context.Context, progs []DiffProgram, procs []int) ([]DiffSwe
 		}
 	}
 	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Trace sweep — the communication matrix of every sweep point.
+
+// TracePoint is one traced sweep point: a program compiled under one mapping
+// strategy for one processor count, simulated with event tracing on.
+type TracePoint struct {
+	Program  string
+	Strategy string
+	Procs    int
+	Cell     Cell
+	// Trace carries the exact derived metrics of the run — the P×P
+	// communication matrix, per-class totals, per-statement histograms.
+	Trace *TraceRecorder
+}
+
+// TraceSweep simulates every program under every mapping strategy of Table 1
+// at every processor count, with runtime tracing enabled, and returns one
+// traced point per configuration. maxSeconds bounds each run (0 = unlimited).
+func TraceSweep(ctx context.Context, progs []DiffProgram, procs []int, maxSeconds float64) ([]TracePoint, error) {
+	strategies := []struct {
+		name string
+		opts Options
+	}{
+		{"naive", NaiveOptions()},
+		{"producer", ProducerOptions()},
+		{"selected", SelectedOptions()},
+	}
+	var points []TracePoint
+	for _, p := range progs {
+		for _, s := range strategies {
+			for _, np := range procs {
+				c, err := Compile(p.Source, np, s.opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/p%d: %w", p.Name, s.name, np, err)
+				}
+				rep, err := c.Execute(ctx, Simulator(), RunOptions{
+					MaxSeconds: maxSeconds,
+					Trace:      &TraceOptions{},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/p%d: %w", p.Name, s.name, np, err)
+				}
+				points = append(points, TracePoint{
+					Program:  p.Name,
+					Strategy: s.name,
+					Procs:    np,
+					Cell:     Cell{Seconds: rep.Time, Aborted: rep.Aborted, Stats: rep.Stats},
+					Trace:    rep.Trace,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// FormatTraceSweep renders each sweep point's communication matrix (rows =
+// sender, columns = receiver) with its simulated time and message totals.
+func FormatTraceSweep(points []TracePoint) string {
+	var b strings.Builder
+	b.WriteString("Trace sweep — planned communication matrix per sweep point\n")
+	for _, pt := range points {
+		m := pt.Trace.CommMatrix()
+		t := m.Total()
+		fmt.Fprintf(&b, "\n%s / %s / p=%d — time %s, %d msgs, %d bytes\n",
+			pt.Program, pt.Strategy, pt.Procs, pt.Cell.String(), t.Msgs, t.Bytes)
+		b.WriteString(m.String())
+	}
+	return b.String()
 }
 
 // FormatDiffSweep renders the sweep as a verdict matrix.
