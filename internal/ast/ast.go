@@ -155,6 +155,12 @@ type Ref struct {
 	Subs []Expr
 	Line int
 	Col  int
+
+	// Slot caches the variable's 1-based slot number assigned by
+	// ir.AssignSlots (0 = not yet assigned). The IR builder gives every
+	// reference occurrence its own Ref node, so the cache is sound; the
+	// evaluator uses it to resolve the variable without a name lookup.
+	Slot int32
 }
 
 // IntConst is an integer literal.

@@ -9,10 +9,12 @@ import (
 
 // Pipeline returns the declared analysis pipeline, ending in the analyze
 // pass which deposits its Result through the returned pointer-pointer. The
-// pass order is: ir, cfg, ssa, constprop, induction, mapping, analyze.
-// Induction rewriting does not rebuild downstream structures inline; it
-// invalidates FactCFG and the manager lazily re-runs cfg/ssa/constprop
-// before analyze (visible in the profile as re-runs).
+// pass order is: ir, cfg, ssa, constprop, induction, mapping, analyze,
+// slots. Induction rewriting does not rebuild downstream structures inline;
+// it invalidates FactCFG and the manager lazily re-runs cfg/ssa/constprop
+// before analyze (visible in the profile as re-runs). The slots pass runs
+// last — after every expression rewrite has settled — and freezes the dense
+// variable numbering the interpreter's slot-indexed state relies on.
 func Pipeline(opts Options, out **Result) []pass.Pass {
 	analyze := &pass.Funcs{
 		PassName: "analyze",
@@ -35,6 +37,7 @@ func Pipeline(opts Options, out **Result) []pass.Pass {
 		pass.Induction(),
 		pass.Mapping(),
 		analyze,
+		pass.Slots(),
 	}
 }
 

@@ -12,13 +12,29 @@ import (
 // Grid is a (virtual) processor grid of one or more dimensions.
 type Grid struct {
 	Shape []int
+
+	// all is the shared "every dimension spans" coordinate vector AllProcs
+	// hands out. ProcSet operations copy on write, so sharing is safe; it
+	// removes the allocation from the hottest set constructor. Lazily
+	// rebuilt for Grid values constructed without NewGrid.
+	all []int
 }
 
 // NewGrid returns a grid with the given shape.
 func NewGrid(shape ...int) *Grid {
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Grid{Shape: s}
+	g := &Grid{Shape: s}
+	g.all = makeAll(len(s))
+	return g
+}
+
+func makeAll(rank int) []int {
+	a := make([]int, rank)
+	for i := range a {
+		a[i] = -1
+	}
+	return a
 }
 
 // Rank returns the number of grid dimensions.
@@ -116,13 +132,29 @@ type ProcSet struct {
 	coord []int
 }
 
-// AllProcs is the set of all processors in the grid.
+// AllProcs is the set of all processors in the grid. The returned set
+// shares the grid's canonical "all" coordinates; every ProcSet operation is
+// copy-on-write, so the sharing is invisible to callers.
 func AllProcs(g *Grid) ProcSet {
-	c := make([]int, g.Rank())
-	for i := range c {
-		c[i] = -1
+	if len(g.all) != len(g.Shape) {
+		g.all = makeAll(len(g.Shape))
 	}
-	return ProcSet{grid: g, coord: c}
+	return ProcSet{grid: g, coord: g.all}
+}
+
+// MutableAll is an all-covering set with private coordinate storage, for
+// builders that fix dimensions in place via FixDim (one allocation for a
+// whole WithDim chain). Sets from the other constructors may share storage
+// and must be narrowed with WithDim instead.
+func MutableAll(g *Grid) ProcSet {
+	return ProcSet{grid: g, coord: makeAll(g.Rank())}
+}
+
+// FixDim fixes dimension d to c in place and returns the receiver. Only
+// valid on sets created by MutableAll (see there).
+func (s ProcSet) FixDim(d, c int) ProcSet {
+	s.coord[d] = c
+	return s
 }
 
 // SingleProc is the singleton set {coords}.
@@ -184,18 +216,52 @@ func (s ProcSet) Count() int {
 
 // Contains reports whether processor id is in the set.
 func (s ProcSet) Contains(id int) bool {
-	coords := s.grid.Coords(id)
-	for d, c := range s.coord {
-		if c >= 0 && coords[d] != c {
+	// Decode the id inline (dimension 0 slowest) instead of materializing
+	// the coordinate vector; this runs on per-instance paths.
+	for d := len(s.coord) - 1; d >= 0; d-- {
+		ext := s.grid.Shape[d]
+		c := id % ext
+		id /= ext
+		if w := s.coord[d]; w >= 0 && c != w {
 			return false
 		}
 	}
 	return true
 }
 
+// First returns the smallest processor id in the set (the deterministic
+// representative Procs()[0] names, without building the slice).
+func (s ProcSet) First() int {
+	id := 0
+	for d, c := range s.coord {
+		if c < 0 {
+			c = 0
+		}
+		id = id*s.grid.Shape[d] + c
+	}
+	return id
+}
+
+// Each calls f for every processor id in the set, ascending.
+func (s ProcSet) Each(f func(id int)) {
+	if id, ok := s.IsSingle(); ok {
+		f(id)
+		return
+	}
+	total := s.grid.Size()
+	for id := 0; id < total; id++ {
+		if s.Contains(id) {
+			f(id)
+		}
+	}
+}
+
 // Procs enumerates the processor ids in the set, ascending.
 func (s ProcSet) Procs() []int {
-	var out []int
+	if id, ok := s.IsSingle(); ok {
+		return []int{id}
+	}
+	out := make([]int, 0, s.Count())
 	total := s.grid.Size()
 	for id := 0; id < total; id++ {
 		if s.Contains(id) {

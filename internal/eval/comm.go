@@ -55,7 +55,7 @@ func (s *State) InstanceOp(req *comm.Requirement, sp *spmd.StmtPlan, elemBytes i
 	}
 	from, single := src.IsSingle()
 	if !single {
-		from = src.Procs()[0]
+		from = src.First()
 	}
 	return InstanceOp{From: from, Dst: dst, Bytes: elemBytes}, nil
 }
@@ -248,7 +248,10 @@ func (s *State) ApplyRedistribute(st *ir.Stmt) error {
 	if err != nil {
 		return &RedistError{Line: st.Line, Err: err}
 	}
-	s.Dyn[v] = nm
+	s.dyn[v.Slot] = nm
+	// The remap changes ownership, so any union execution set memoized for
+	// the current epoch is stale; advance the epoch to invalidate it.
+	s.epoch++
 	return nil
 }
 

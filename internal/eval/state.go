@@ -57,19 +57,47 @@ func (e *NumericError) Error() string {
 // holds one State; the concurrent executor holds one per worker — replicated
 // execution keeps every image identical, which is what makes the SPMD
 // programs under the paper's mappings semantically interchangeable.
+//
+// The memory image is slot-indexed: every variable carries a dense slot
+// number (ir.AssignSlots), and values live in flat slices indexed by it, so
+// the innermost interpretation path costs an array index instead of a
+// pointer-keyed map probe. The former map fields survive as view methods
+// (Scalars, Arrays, Indices, Dyn) that materialize the equivalent maps.
 type State struct {
 	Prog *spmd.Program
 
-	Scalars map[*ir.Var]float64
-	Arrays  map[*ir.Var][]float64
-	Indices map[*ir.Var]int64
-	// Dyn holds the current (possibly redistributed) mapping per array.
-	Dyn map[*ir.Var]*dist.ArrayMap
+	// slots is Prog's variable numbering (slot -> variable).
+	slots []*ir.Var
 
-	// unionCache memoizes the per-iteration union execution set.
-	unionCache map[*ir.Loop]dist.ProcSet
-	unionEpoch map[*ir.Loop]int64
+	scalars   []float64 // by Var.Slot; scalar values
+	scalarSet []bool    // by Var.Slot; true once Store wrote the scalar
+	indices   []int64   // by Var.Slot; current loop-index values
+	arrays    [][]float64
+	// dyn holds the current (possibly redistributed) mapping per array.
+	dyn  []*dist.ArrayMap
+	priv []*core.ArrayPrivatization // by Var.Slot; privatization override
+
+	// unionCache memoizes the per-iteration union execution set by
+	// Loop.ID; unionEpoch records the epoch an entry was computed at
+	// (-1 = never). epoch advances on every loop iteration and on every
+	// dynamic remapping (REDISTRIBUTE), which invalidates the cache.
+	unionCache []dist.ProcSet
+	unionEpoch []int64
 	epoch      int64
+
+	// unionPart caches, per loop, the statically known contributors to the
+	// loop's union execution set (built on first use).
+	unionPart [][]unionContrib
+
+	// idxScratch is the reusable subscript buffer OwnerSet evaluates into.
+	idxScratch []int64
+}
+
+// unionContrib is one owner-driven statement's static contribution to a
+// union execution set: its owner pattern and the inner loops that widen it.
+type unionContrib struct {
+	pat   dist.OwnerPattern
+	widen []*ir.Loop
 }
 
 // NewState allocates a fresh memory image for the program. Array shapes are
@@ -79,14 +107,27 @@ func NewState(p *spmd.Program) (*State, error) {
 	if p == nil || p.Res == nil || p.Res.Prog == nil {
 		return nil, fmt.Errorf("eval: nil program")
 	}
+	prog := p.Res.Prog
+	slots := ir.AssignSlots(prog).Vars
+	n := len(slots)
 	s := &State{
-		Prog:    p,
-		Scalars: map[*ir.Var]float64{},
-		Arrays:  map[*ir.Var][]float64{},
-		Indices: map[*ir.Var]int64{},
-		Dyn:     map[*ir.Var]*dist.ArrayMap{},
+		Prog:       p,
+		slots:      slots,
+		scalars:    make([]float64, n),
+		scalarSet:  make([]bool, n),
+		indices:    make([]int64, n),
+		arrays:     make([][]float64, n),
+		dyn:        make([]*dist.ArrayMap, n),
+		priv:       make([]*core.ArrayPrivatization, n),
+		unionCache: make([]dist.ProcSet, len(prog.Loops)),
+		unionEpoch: make([]int64, len(prog.Loops)),
+		unionPart:  make([][]unionContrib, len(prog.Loops)),
 	}
-	for _, v := range p.Res.Prog.VarList {
+	for i := range s.unionEpoch {
+		s.unionEpoch[i] = -1
+	}
+	for _, v := range prog.VarList {
+		s.priv[v.Slot] = p.Res.Arrays[v]
 		if !v.IsArray() {
 			continue
 		}
@@ -101,10 +142,71 @@ func NewState(p *spmd.Program) (*State, error) {
 		if size < 0 {
 			return nil, fmt.Errorf("eval: array %s has negative size", v.Name)
 		}
-		s.Arrays[v] = make([]float64, size)
-		s.Dyn[v] = p.Res.Mapping.Arrays[v]
+		s.arrays[v.Slot] = make([]float64, size)
+		s.dyn[v.Slot] = p.Res.Mapping.Arrays[v]
 	}
 	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-variable accessors and map-compatibility views
+
+// Scalar returns the current value of a scalar variable (0 if unassigned).
+func (s *State) Scalar(v *ir.Var) float64 { return s.scalars[v.Slot] }
+
+// Index returns the current value of a loop-index variable.
+func (s *State) Index(v *ir.Var) int64 { return s.indices[v.Slot] }
+
+// Array returns the backing store of an array variable (nil for scalars).
+func (s *State) Array(v *ir.Var) []float64 { return s.arrays[v.Slot] }
+
+// DynMap returns the variable's current (possibly redistributed) mapping.
+func (s *State) DynMap(v *ir.Var) *dist.ArrayMap { return s.dyn[v.Slot] }
+
+// Scalars materializes the map view of all assigned scalars — the pre-slot
+// map field kept as a compatibility view for result export and tests.
+func (s *State) Scalars() map[*ir.Var]float64 {
+	m := map[*ir.Var]float64{}
+	for i, set := range s.scalarSet {
+		if set {
+			m[s.slots[i]] = s.scalars[i]
+		}
+	}
+	return m
+}
+
+// Arrays materializes the map view of all array stores (the slices alias
+// the live image, as the former map field did).
+func (s *State) Arrays() map[*ir.Var][]float64 {
+	m := map[*ir.Var][]float64{}
+	for i, a := range s.arrays {
+		if a != nil {
+			m[s.slots[i]] = a
+		}
+	}
+	return m
+}
+
+// Indices materializes the map view of the current loop-index values.
+func (s *State) Indices() map[*ir.Var]int64 {
+	m := map[*ir.Var]int64{}
+	for _, v := range s.slots {
+		if v.IsLoopIndex {
+			m[v] = s.indices[v.Slot]
+		}
+	}
+	return m
+}
+
+// Dyn materializes the map view of the current array mappings.
+func (s *State) Dyn() map[*ir.Var]*dist.ArrayMap {
+	m := map[*ir.Var]*dist.ArrayMap{}
+	for i, am := range s.dyn {
+		if am != nil {
+			m[s.slots[i]] = am
+		}
+	}
+	return m
 }
 
 // Grid returns the processor grid the program is mapped onto.
@@ -141,14 +243,15 @@ func (s *State) Store(ref *ir.Ref, val float64) error {
 		if v.Type == ast.Integer {
 			val = math.Round(val)
 		}
-		s.Scalars[v] = val
+		s.scalars[v.Slot] = val
+		s.scalarSet[v.Slot] = true
 		return nil
 	}
 	off, err := s.ArrayOffset(ref)
 	if err != nil {
 		return err
 	}
-	s.Arrays[v][off] = val
+	s.arrays[v.Slot][off] = val
 	return nil
 }
 
@@ -202,7 +305,7 @@ func (s *State) EvalAffine(a ir.Affine) (int64, error) {
 	if a.OK {
 		x := a.Const
 		for _, t := range a.Terms {
-			x += t.Coef * s.Indices[t.Loop.Index]
+			x += t.Coef * s.indices[t.Loop.Index.Slot]
 		}
 		return x, nil
 	}
@@ -248,15 +351,17 @@ func (s *State) Eval(e ast.Expr) (float64, error) {
 	case *ast.RealConst:
 		return x.Value, nil
 	case *ast.Ref:
-		v := s.Prog.Res.Prog.LookupVar(x.Name)
-		if v == nil {
+		var v *ir.Var
+		if x.Slot > 0 {
+			v = s.slots[x.Slot-1]
+		} else if v = s.Prog.Res.Prog.LookupVar(x.Name); v == nil {
 			return 0, fmt.Errorf("unknown variable %s", x.Name)
 		}
 		if v.IsLoopIndex {
-			return float64(s.Indices[v]), nil
+			return float64(s.indices[v.Slot]), nil
 		}
 		if !v.IsArray() {
-			return s.Scalars[v], nil
+			return s.scalars[v.Slot], nil
 		}
 		off := int64(0)
 		stride := int64(1)
@@ -272,7 +377,7 @@ func (s *State) Eval(e ast.Expr) (float64, error) {
 			off += (sub - 1) * stride
 			stride *= v.Dims[k]
 		}
-		return s.Arrays[v][off], nil
+		return s.arrays[v.Slot][off], nil
 	case *ast.UnaryMinus:
 		r, err := s.Eval(x.X)
 		if err != nil {
@@ -299,7 +404,15 @@ func (s *State) Eval(e ast.Expr) (float64, error) {
 		}
 		return evalBin(x.Op, l, r)
 	case *ast.Call:
-		args := make([]float64, len(x.Args))
+		// The intrinsics are all short-arity; a stack buffer keeps the
+		// common case allocation-free.
+		var buf [4]float64
+		var args []float64
+		if len(x.Args) <= len(buf) {
+			args = buf[:len(x.Args)]
+		} else {
+			args = make([]float64, len(x.Args))
+		}
 		for k, aexp := range x.Args {
 			v, err := s.Eval(aexp)
 			if err != nil {
@@ -402,7 +515,13 @@ func (s *State) ExecSet(sp *spmd.StmtPlan) (dist.ProcSet, error) {
 func (s *State) OwnerSet(ref *ir.Ref) (dist.ProcSet, error) {
 	g := s.Grid()
 	v := ref.Var
-	idx := make([]int64, len(ref.Ast.Subs))
+	// Subscripts evaluate into a scratch buffer reused across calls; the
+	// privatization path below copies it out before recursing (OwnerSet on
+	// the target reference would clobber the scratch).
+	if cap(s.idxScratch) < len(ref.Ast.Subs) {
+		s.idxScratch = make([]int64, len(ref.Ast.Subs))
+	}
+	idx := s.idxScratch[:len(ref.Ast.Subs)]
 	for k, e := range ref.Ast.Subs {
 		x, err := s.EvalInt(e)
 		if err != nil {
@@ -410,10 +529,12 @@ func (s *State) OwnerSet(ref *ir.Ref) (dist.ProcSet, error) {
 		}
 		idx[k] = x
 	}
-	if ap := s.Prog.Res.Arrays[v]; ap != nil && ir.Encloses(ap.Loop, ref.Stmt.Loop) {
-		return s.privOwnerSet(ap, idx)
+	if ap := s.priv[v.Slot]; ap != nil && ir.Encloses(ap.Loop, ref.Stmt.Loop) {
+		var buf [4]int64
+		own := append(buf[:0], idx...)
+		return s.privOwnerSet(ap, own)
 	}
-	am := s.Dyn[v]
+	am := s.dyn[v.Slot]
 	if am == nil {
 		return dist.AllProcs(g), nil
 	}
@@ -425,7 +546,7 @@ func (s *State) OwnerSet(ref *ir.Ref) (dist.ProcSet, error) {
 // the privatization axes.
 func (s *State) privOwnerSet(ap *core.ArrayPrivatization, idx []int64) (dist.ProcSet, error) {
 	g := s.Grid()
-	set := dist.AllProcs(g)
+	set := dist.MutableAll(g)
 	tgt, err := s.OwnerSet(ap.Target)
 	if err != nil {
 		return dist.ProcSet{}, err
@@ -433,13 +554,13 @@ func (s *State) privOwnerSet(ap *core.ArrayPrivatization, idx []int64) (dist.Pro
 	for d := 0; d < g.Rank(); d++ {
 		if ap.PrivGrid[d] {
 			if c, ok := tgt.Fixed(d); ok {
-				set = set.WithDim(d, c)
+				set = set.FixDim(d, c)
 			}
 		}
 	}
 	for dim, ax := range ap.Axes {
 		if ax.Distributed {
-			set = set.WithDim(ax.GridDim, ax.OwnerDim(idx[dim], g.Shape[ax.GridDim]))
+			set = set.FixDim(ax.GridDim, ax.OwnerDim(idx[dim], g.Shape[ax.GridDim]))
 		}
 	}
 	return set, nil
@@ -450,7 +571,7 @@ func (s *State) privOwnerSet(ap *core.ArrayPrivatization, idx []int64) (dist.Pro
 // dimensions varying in them span all coordinates.
 func (s *State) PatternSet(pat dist.OwnerPattern, widen []*ir.Loop) dist.ProcSet {
 	g := s.Grid()
-	set := dist.AllProcs(g)
+	set := dist.MutableAll(g)
 	for d := range pat.Dims {
 		dp := pat.Dims[d]
 		if dp.Repl {
@@ -472,7 +593,7 @@ func (s *State) PatternSet(pat dist.OwnerPattern, widen []*ir.Loop) dist.ProcSet
 		}
 		ax := dist.AxisMap{Distributed: true, GridDim: d, Kind: dp.Kind,
 			Offset: dp.Offset, Extent: dp.Extent, Block: dp.Block}
-		set = set.WithDim(d, ax.OwnerDim(pos, g.Shape[d]))
+		set = set.FixDim(d, ax.OwnerDim(pos, g.Shape[d]))
 	}
 	return set
 }
@@ -484,39 +605,21 @@ func (s *State) UnionSet(l *ir.Loop) dist.ProcSet {
 	if l == nil {
 		return dist.AllProcs(g)
 	}
-	if s.unionCache == nil {
-		s.unionCache = map[*ir.Loop]dist.ProcSet{}
-		s.unionEpoch = map[*ir.Loop]int64{}
+	if s.unionEpoch[l.ID] == s.epoch {
+		return s.unionCache[l.ID]
 	}
-	if e, ok := s.unionEpoch[l]; ok && e == s.epoch {
-		return s.unionCache[l]
-	}
-	inner := map[*ir.Loop]bool{}
-	for _, ll := range s.Prog.Res.Prog.Loops {
-		if ll != l && ir.Encloses(l, ll) {
-			inner[ll] = true
-		}
-	}
-	var innerList []*ir.Loop
-	for ll := range inner {
-		innerList = append(innerList, ll)
+	// The contributing statements and their owner patterns are static per
+	// program; only the pattern evaluation depends on the current indices.
+	// Build the contributor list once per loop.
+	part := s.unionPart[l.ID]
+	if part == nil {
+		part = s.unionContribs(l)
+		s.unionPart[l.ID] = part
 	}
 	have := false
 	var u dist.ProcSet
-	for _, st := range s.Prog.Res.Prog.Stmts {
-		if st.Kind != ir.SAssign || !ir.Encloses(l, st.Loop) {
-			continue
-		}
-		sp := s.Prog.Stmts[st]
-		var set dist.ProcSet
-		switch sp.Kind {
-		case spmd.ExecOwner:
-			set = s.PatternSet(s.Prog.Res.RefPattern(sp.OwnerRef), innerList)
-		case spmd.ExecPattern:
-			set = s.PatternSet(sp.Scalar.Pattern, innerList)
-		default:
-			continue
-		}
+	for i := range part {
+		set := s.PatternSet(part[i].pat, part[i].widen)
 		if !have {
 			u, have = set, true
 		} else {
@@ -526,7 +629,33 @@ func (s *State) UnionSet(l *ir.Loop) dist.ProcSet {
 	if !have {
 		u = dist.AllProcs(g)
 	}
-	s.unionCache[l] = u
-	s.unionEpoch[l] = s.epoch
+	s.unionCache[l.ID] = u
+	s.unionEpoch[l.ID] = s.epoch
 	return u
+}
+
+// unionContribs collects the owner-driven statements under l that shape its
+// union execution set. The result is non-nil even when empty, so the lazy
+// cache in UnionSet records "computed, no contributors".
+func (s *State) unionContribs(l *ir.Loop) []unionContrib {
+	var innerList []*ir.Loop
+	for _, ll := range s.Prog.Res.Prog.Loops {
+		if ll != l && ir.Encloses(l, ll) {
+			innerList = append(innerList, ll)
+		}
+	}
+	part := []unionContrib{}
+	for _, st := range s.Prog.Res.Prog.Stmts {
+		if st.Kind != ir.SAssign || !ir.Encloses(l, st.Loop) {
+			continue
+		}
+		sp := s.Prog.PlanOf(st)
+		switch sp.Kind {
+		case spmd.ExecOwner:
+			part = append(part, unionContrib{pat: s.Prog.Res.RefPattern(sp.OwnerRef), widen: innerList})
+		case spmd.ExecPattern:
+			part = append(part, unionContrib{pat: sp.Scalar.Pattern, widen: innerList})
+		}
+	}
+	return part
 }

@@ -137,19 +137,19 @@ func (w *walker) loop(l *ir.Loop) (control, error) {
 		}
 	}
 
-	lp := s.Prog.Loops[l]
+	lp := s.Prog.LoopPlanOf(l)
 	if lp != nil {
 		// The loop index ranges over the whole iteration space for the
 		// purpose of any aggregated transfer; set it to lo so affine
 		// evaluation has a defined base.
-		s.Indices[l.Index] = lo
+		s.indices[l.Index.Slot] = lo
 		if err := w.b.LoopEntry(l, lp); err != nil {
 			return control{}, err
 		}
 	}
 
 	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
-		s.Indices[l.Index] = v
+		s.indices[l.Index.Slot] = v
 		s.epoch++
 		ctl, err := w.nodes(l.Body)
 		if err != nil {
@@ -189,7 +189,7 @@ func (w *walker) ifNode(ifn *ir.If) (control, error) {
 // charges), then computes its value semantics.
 func (w *walker) stmt(st *ir.Stmt) (control, error) {
 	s := w.s
-	sp := s.Prog.Stmts[st]
+	sp := s.Prog.PlanOf(st)
 	if err := w.b.Statement(st, sp); err != nil {
 		return control{}, err
 	}

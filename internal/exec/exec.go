@@ -15,6 +15,15 @@
 // receivers verify, bitwise, that the replicated images have not diverged;
 // a final cross-worker sweep verifies complete memory agreement.
 //
+// The physical transport vectorizes: contiguous per-instance element
+// transfers for one (source, destination, statement) — the inner-loop
+// pattern the paper's message vectorization targets — coalesce into a
+// single batched mailbox message carrying the element count and a checksum
+// of the batched values, flushed whenever the batch key changes or other
+// planned traffic must flow. The cost-model replay and the trace's exact
+// counters are unaffected: the accountant still charges every instance, and
+// a flushed batch emits one trace event that stands for Count messages.
+//
 // Communication statistics are kept exactly comparable with the simulator
 // by a deterministic accountant: worker 0 — which observes every planned
 // event in program order, like the simulator does — replays the same
@@ -121,7 +130,8 @@ type Result struct {
 type message struct {
 	req    int    // comm.Requirement ID, or a negative protocol tag
 	seq    uint64 // per-edge sequence number
-	bits   uint64 // math.Float64bits of the payload value
+	bits   uint64 // math.Float64bits of the payload, or a batch checksum
+	count  int32  // batched element count (0 or 1 = a single element)
 	hasVal bool
 }
 
@@ -257,7 +267,12 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 				recvSeq:  make([]uint64, n),
 				attrStmt: -1,
 			}
-			if err := eval.Walk(states[proc], w); err != nil {
+			err := eval.Walk(states[proc], w)
+			if err == nil {
+				// Drain any message batch left open by trailing statements.
+				err = w.flushBatch()
+			}
+			if err != nil {
 				errs[proc] = err
 				cancel()
 			}
@@ -288,10 +303,10 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 		TrafficMessages: ex.traffic.Load(),
 		Trace:           ex.rec,
 	}
-	for v, x := range states[0].Scalars {
+	for v, x := range states[0].Scalars() {
 		res.Scalars[v.Name] = x
 	}
-	for v, a := range states[0].Arrays {
+	for v, a := range states[0].Arrays() {
 		res.Arrays[v.Name] = a
 	}
 	return res, nil
@@ -335,13 +350,13 @@ func checkConsistency(states []*eval.State) error {
 	ref := states[0]
 	for p := 1; p < len(states); p++ {
 		st := states[p]
-		for v, want := range ref.Scalars {
-			if got := st.Scalars[v]; math.Float64bits(got) != math.Float64bits(want) {
+		for v, want := range ref.Scalars() {
+			if got := st.Scalar(v); math.Float64bits(got) != math.Float64bits(want) {
 				return &DivergenceError{Proc: p, Peer: 0, What: "final scalar " + v.Name, Got: got, Want: want}
 			}
 		}
-		for v, want := range ref.Arrays {
-			got := st.Arrays[v]
+		for v, want := range ref.Arrays() {
+			got := st.Array(v)
 			for i := range want {
 				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
 					return &DivergenceError{Proc: p, Peer: 0,
@@ -373,6 +388,10 @@ type worker struct {
 	attrClass dist.CommClass
 	attrBytes int64
 	mute      bool
+
+	// batch is the single in-flight per-instance message batch (see
+	// openBatch); count == 0 means no batch is open.
+	batch openBatch
 }
 
 // setAttr stamps the attribution for the planned messages about to flow.
@@ -391,6 +410,17 @@ func (w *worker) emit(k trace.Kind, peer int, dur float64, bytes int64, req int)
 	w.ex.rec.Emit(w.proc, trace.Event{
 		Time: w.ex.wall(), Dur: dur, Bytes: bytes, Kind: k, Class: w.attrClass,
 		Proc: int32(w.proc), Peer: int32(peer), Stmt: w.attrStmt, Req: int32(req),
+	})
+}
+
+// emitN records one event standing for count planned messages (a flushed
+// batch); the exact counters scale by count, keeping per-class totals
+// identical to the simulator's per-instance emission.
+func (w *worker) emitN(k trace.Kind, peer int, bytes int64, req int, count int32) {
+	w.ex.rec.Emit(w.proc, trace.Event{
+		Time: w.ex.wall(), Bytes: bytes, Kind: k, Class: w.attrClass,
+		Proc: int32(w.proc), Peer: int32(peer), Stmt: w.attrStmt, Req: int32(req),
+		Count: count,
 	})
 }
 
@@ -442,7 +472,11 @@ func (w *worker) traceSend(to int, m message) {
 	if w.ex.rec == nil || m.req < 0 || w.mute {
 		return
 	}
-	w.emit(trace.Send, to, 0, w.attrBytes, m.req)
+	n := m.count
+	if n <= 0 {
+		n = 1
+	}
+	w.emitN(trace.Send, to, w.attrBytes*int64(n), m.req, n)
 }
 
 // recv takes the next message on the edge from->proc and verifies it
@@ -474,7 +508,11 @@ func (w *worker) recv(from, wantReq int, what string) (message, error) {
 			WantReq: wantReq, GotReq: m.req, WantSeq: wantSeq, GotSeq: m.seq, What: what}
 	}
 	if w.ex.rec != nil && m.req >= 0 && !w.mute {
-		w.emit(trace.Recv, from, 0, w.attrBytes, m.req)
+		n := m.count
+		if n <= 0 {
+			n = 1
+		}
+		w.emitN(trace.Recv, from, w.attrBytes*int64(n), m.req, n)
 	}
 	return m, nil
 }
@@ -496,6 +534,11 @@ func (w *worker) Tick() error {
 
 // LoopEntry performs the vectorized communications hoisted to this loop.
 func (w *worker) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
+	// Any open batch flushes before other planned traffic so the per-edge
+	// message order stays identical on every worker.
+	if err := w.flushBatch(); err != nil {
+		return err
+	}
 	for _, req := range lp.Hoisted {
 		op, err := w.st.VectorizedOp(req, w.elemBytes())
 		if err != nil {
@@ -536,7 +579,7 @@ func (w *worker) stampVectorized(req *comm.Requirement, op eval.VectorizedOp) {
 		w.setAttr(req.Stmt.ID, req.Class, op.Bytes)
 	case eval.VecExchange:
 		per := op.Bytes
-		if n := len(op.Src.Procs()); n > 0 && op.Bytes/int64(n) > 0 {
+		if n := op.Src.Count(); n > 0 && op.Bytes/int64(n) > 0 {
 			per = op.Bytes / int64(n)
 		}
 		w.setAttr(req.Stmt.ID, req.Class, per)
@@ -632,6 +675,9 @@ func (w *worker) vectorizedComm(req *comm.Requirement, op eval.VectorizedOp) err
 // the partial values compared bitwise (replicated execution makes every
 // partial the full value, so they must all agree).
 func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
+	if err := w.flushBatch(); err != nil {
+		return err
+	}
 	for _, m := range lp.Combines {
 		set := w.st.PatternSet(m.Pattern, nil)
 		if w.accountant() {
@@ -646,7 +692,7 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 		}
 		what := "combine " + m.Def.Var.Name
 		root := procs[0]
-		bits := math.Float64bits(w.st.Scalars[m.Def.Var])
+		bits := math.Float64bits(w.st.Scalar(m.Def.Var))
 		if w.proc == root {
 			for _, p := range procs[1:] {
 				got, err := w.recv(p, tagReduce, what)
@@ -655,7 +701,7 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 				}
 				if got.hasVal && got.bits != bits {
 					return &DivergenceError{Proc: w.proc, Peer: p, What: what,
-						Got: math.Float64frombits(got.bits), Want: w.st.Scalars[m.Def.Var]}
+						Got: math.Float64frombits(got.bits), Want: w.st.Scalar(m.Def.Var)}
 				}
 			}
 			for _, p := range procs[1:] {
@@ -678,7 +724,7 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 			}
 			if got.hasVal && got.bits != bits {
 				return &DivergenceError{Proc: w.proc, Peer: root, What: what,
-					Got: math.Float64frombits(got.bits), Want: w.st.Scalars[m.Def.Var]}
+					Got: math.Float64frombits(got.bits), Want: w.st.Scalar(m.Def.Var)}
 			}
 		}
 		w.clearAttr()
@@ -701,18 +747,16 @@ func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 			continue
 		}
 		if w.accountant() {
+			// The accountant replays the cost model per instance — batching
+			// is a property of the physical transport only — so Stats and
+			// simulated time stay identical to the sequential simulator's.
 			if to, one := op.Dst.IsSingle(); one {
 				w.ex.mach.Send(op.From, to, op.Bytes)
 			} else {
 				w.ex.mach.Multicast(op.From, op.Dst, op.Bytes)
 			}
 		}
-		if w.ex.rec != nil {
-			w.setAttr(st.ID, req.Class, op.Bytes)
-		}
-		err = w.instanceComm(req, op)
-		w.clearAttr()
-		if err != nil {
+		if err := w.batchInstance(req, st, op); err != nil {
 			return err
 		}
 	}
@@ -735,55 +779,138 @@ func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 	return nil
 }
 
-// instanceComm performs the real traffic of one per-instance requirement:
-// the owner representative sends the element's value to the execution set,
-// and every receiver verifies the payload against its replicated copy.
-func (w *worker) instanceComm(req *comm.Requirement, op eval.InstanceOp) error {
+// openBatch is the worker's single in-flight message batch: contiguous
+// per-instance transfers of one requirement between one (source,
+// destination) pair, coalesced into a single physical message per receiving
+// edge. Replicated execution means every worker observes the identical
+// instance sequence, so all workers open, extend, and flush batches at the
+// same logical points — which keeps the per-edge message order (and
+// sequence numbers) consistent without any negotiation.
+type openBatch struct {
+	req   *comm.Requirement
+	from  int
+	dst   dist.ProcSet
+	stmt  int
+	class dist.CommClass
+	bytes int64 // per-element payload bytes
+	count int32
+	// sum is an FNV-1a fold of the batched values' bit patterns, accumulated
+	// per instance on the pre-statement image (the image at flush time may
+	// already have been overwritten). Receivers accumulate their own fold
+	// and compare it against the sender's — the batched equivalent of the
+	// per-instance bitwise divergence check.
+	sum    uint64
+	hasVal bool
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvAdd folds one 64-bit value into an FNV-1a checksum.
+func fnvAdd(sum, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		sum ^= v & 0xff
+		sum *= fnvPrime
+		v >>= 8
+	}
+	return sum
+}
+
+// batchInstance coalesces one non-skipped per-instance transfer into the
+// worker's open batch, flushing first when the (requirement, source,
+// destination) key changes. Participants fold the element's local value —
+// evaluated now, on the pre-statement image, where it is identical on every
+// worker under replicated execution — into the batch checksum.
+func (w *worker) batchInstance(req *comm.Requirement, st *ir.Stmt, op eval.InstanceOp) error {
+	b := &w.batch
+	if b.count > 0 && !(b.req == req && b.from == op.From && b.dst.Equal(op.Dst)) {
+		if err := w.flushBatch(); err != nil {
+			return err
+		}
+	}
+	if b.count == 0 {
+		*b = openBatch{req: req, from: op.From, dst: op.Dst, stmt: st.ID,
+			class: req.Class, bytes: op.Bytes, sum: fnvOffset, hasVal: true}
+	}
+	b.count++
+	if w.proc == op.From || op.Dst.Contains(w.proc) {
+		local, lerr := w.st.Eval(req.Use.Ast)
+		if lerr != nil {
+			// The statement's own semantics will surface lerr; the batch
+			// just loses its verifiable payload.
+			b.hasVal = false
+		} else {
+			b.sum = fnvAdd(b.sum, math.Float64bits(local))
+		}
+	}
+	return nil
+}
+
+// flushBatch performs the real traffic of the open batch — the owner
+// representative sends one message per receiving edge carrying the element
+// count and the payload checksum, and every receiver verifies both against
+// its replicated accumulation. Every worker flushes at the same logical
+// points: on a batch-key change, before any other planned traffic
+// (vectorized communication, reduction combines, redistribution barriers),
+// and at the end of the walk.
+func (w *worker) flushBatch() error {
+	b := &w.batch
+	if b.count == 0 {
+		return nil
+	}
+	op := *b
+	b.count = 0
+	b.req = nil
+	if w.proc != op.from && !op.dst.Contains(w.proc) {
+		return nil // not a participant in this batch
+	}
+	req := op.req
 	what := w.desc(req)
 	dropped := w.ex.cfg.testDropSend != nil && w.ex.cfg.testDropSend(w.proc, req)
-
-	// The communicated value, evaluated on the pre-statement image — it is
-	// identical on every worker under replicated execution, which is
-	// exactly what the receivers verify bitwise.
-	m := message{req: req.ID}
-	local, lerr := w.st.Eval(req.Use.Ast)
-	if lerr == nil {
-		m.hasVal = true
-		m.bits = math.Float64bits(local)
-	}
+	m := message{req: req.ID, count: op.count, hasVal: op.hasVal, bits: op.sum}
+	w.setAttr(op.stmt, op.class, op.bytes)
+	defer w.clearAttr()
 	verify := func(got message, from int) error {
-		if !got.hasVal || lerr != nil {
-			return nil // the statement's own semantics will surface lerr
+		if got.count != op.count {
+			return &DivergenceError{Proc: w.proc, Peer: from,
+				What: what + " (batch length)",
+				Got:  float64(got.count), Want: float64(op.count)}
 		}
-		if got.bits != math.Float64bits(local) {
-			return &DivergenceError{Proc: w.proc, Peer: from, What: what,
-				Got: math.Float64frombits(got.bits), Want: local}
+		if !got.hasVal || !op.hasVal {
+			return nil
+		}
+		if got.bits != op.sum {
+			return &DivergenceError{Proc: w.proc, Peer: from,
+				What: what + " (batch checksum)",
+				Got:  math.Float64frombits(got.bits), Want: math.Float64frombits(op.sum)}
 		}
 		return nil
 	}
 
-	if to, one := op.Dst.IsSingle(); one {
+	if to, one := op.dst.IsSingle(); one {
 		// Point-to-point delivery (a self-send uses the self edge, kept
 		// for exact parity with the cost model, which charges it too).
-		if w.proc == op.From && !dropped {
+		if w.proc == op.from && !dropped {
 			if err := w.send(to, m, what); err != nil {
 				return err
 			}
 		}
 		if w.proc == to {
-			got, err := w.recv(op.From, req.ID, what)
+			got, err := w.recv(op.from, req.ID, what)
 			if err != nil {
 				return err
 			}
-			return verify(got, op.From)
+			return verify(got, op.from)
 		}
 		return nil
 	}
 	// Multicast delivery: the root does not message itself (the cost
 	// model's Multicast excludes the source as well).
-	if w.proc == op.From {
-		for _, p := range op.Dst.Procs() {
-			if p == op.From || dropped {
+	if w.proc == op.from {
+		for _, p := range op.dst.Procs() {
+			if p == op.from || dropped {
 				continue
 			}
 			if err := w.send(p, m, what); err != nil {
@@ -792,20 +919,20 @@ func (w *worker) instanceComm(req *comm.Requirement, op eval.InstanceOp) error {
 		}
 		return nil
 	}
-	if op.Dst.Contains(w.proc) {
-		got, err := w.recv(op.From, req.ID, what)
-		if err != nil {
-			return err
-		}
-		return verify(got, op.From)
+	got, err := w.recv(op.from, req.ID, what)
+	if err != nil {
+		return err
 	}
-	return nil
+	return verify(got, op.from)
 }
 
 // Redistribute performs the barrier an executable redistribution implies
 // (the mapping update has already been applied to every worker's state) and
 // replays its all-to-all charge.
 func (w *worker) Redistribute(st *ir.Stmt) error {
+	if err := w.flushBatch(); err != nil {
+		return err
+	}
 	if w.accountant() {
 		per := w.st.RedistBytesPerProc(st, w.elemBytes())
 		w.ex.mach.AllToAll(dist.AllProcs(w.st.Grid()), per)

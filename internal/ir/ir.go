@@ -19,6 +19,12 @@ type Var struct {
 	Type ast.Type
 	Dims []int64 // evaluated extents; empty for scalars (1-based indexing)
 
+	// Slot is the dense 0-based index AssignSlots gave this variable
+	// (declaration order). Valid only after AssignSlots ran; the
+	// interpreter's State uses it to index flat value slices instead of
+	// probing pointer-keyed maps.
+	Slot int32
+
 	IsLoopIndex bool // used as a DO index somewhere in the program
 
 	// DefLoops is the set of loops whose body contains an assignment to
@@ -185,6 +191,10 @@ type Program struct {
 
 	// Directives carried through for the distribution package.
 	Dirs []ast.Directive
+
+	// Slots is the dense variable numbering built by AssignSlots (nil
+	// until the slots pass — or a lazy consumer — runs it).
+	Slots *SlotTable
 
 	Source *ast.Program
 }

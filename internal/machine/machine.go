@@ -182,13 +182,13 @@ func (m *Machine) Compute(set dist.ProcSet, t float64) {
 			}
 			return
 		}
-		for _, p := range set.Procs() {
+		set.Each(func(p int) {
 			d := t * m.Fault.SlowFactor(p, m.Clock[p])
 			m.Clock[p] += d
 			if m.Rec != nil {
 				m.emit(trace.Compute, p, -1, m.Clock[p], d, 0)
 			}
-		}
+		})
 		return
 	}
 	if set.IsAll() {
@@ -200,12 +200,12 @@ func (m *Machine) Compute(set dist.ProcSet, t float64) {
 		}
 		return
 	}
-	for _, p := range set.Procs() {
+	set.Each(func(p int) {
 		m.Clock[p] += t
 		if m.Rec != nil {
 			m.emit(trace.Compute, p, -1, m.Clock[p], t, 0)
 		}
-	}
+	})
 }
 
 // ComputeProc charges t seconds to one processor.

@@ -102,6 +102,22 @@ func Induction() Pass {
 	}
 }
 
+// Slots numbers the program's variables densely (ir.AssignSlots) and caches
+// the numbering on every expression reference. It runs at the end of the
+// pipeline, after every pass that may rewrite expressions (induction closed
+// forms, the analyze pass), so the cached slots describe the IR the
+// interpreter will actually walk.
+func Slots() Pass {
+	return &Funcs{
+		PassName: "slots",
+		Needs:    []Fact{FactIR},
+		RunFunc: func(u *Unit) error {
+			ir.AssignSlots(u.Prog)
+			return nil
+		},
+	}
+}
+
 // Mapping resolves the distribution directives leniently (FactMapping):
 // bad directives degrade to replication and surface as warning diagnostics.
 func Mapping() Pass {

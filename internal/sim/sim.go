@@ -193,10 +193,10 @@ func RunContext(ctx context.Context, p *spmd.Program, cfg Config) (*Result, erro
 		Arrays:  map[string][]float64{},
 		Trace:   in.mach.Rec,
 	}
-	for v, x := range st.Scalars {
+	for v, x := range st.Scalars() {
 		res.Scalars[v.Name] = x
 	}
-	for v, a := range st.Arrays {
+	for v, a := range st.Arrays() {
 		res.Arrays[v.Name] = a
 	}
 	if in.profile != nil {
@@ -346,47 +346,50 @@ func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 // Statement performs per-instance communication and charges the computation
 // of one statement instance.
 func (in *interp) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
-	do := func() error {
-		for _, req := range sp.PerInstance {
-			in.mach.SetAttr(st.ID, req.ID, req.Class)
-			op, err := in.st.InstanceOp(req, sp, int64(in.cfg.Params.ElemBytes))
-			if err != nil {
-				return err
-			}
-			// Communication left inside a loop defeats loop-bound
-			// shrinking: every processor must traverse the iteration space
-			// evaluating the ownership guard, whether or not it
-			// communicates.
-			if in.cfg.Params.GuardTime > 0 {
-				in.mach.Compute(dist.AllProcs(in.st.Grid()), in.cfg.Params.GuardTime)
-			}
-			if op.Skip {
-				continue
-			}
-			if to, one := op.Dst.IsSingle(); one {
-				in.mach.Send(op.From, to, op.Bytes)
-			} else {
-				in.mach.Multicast(op.From, op.Dst, op.Bytes)
-			}
-			if err := in.checkTime(); err != nil {
-				return err
-			}
-		}
-		execSet, err := in.st.ExecSet(sp)
+	if in.profile != nil {
+		return in.attribute(st, func() error { return in.statement(st, sp) })
+	}
+	// The non-profiling hot path calls the method directly: the closure
+	// above escapes through attribute and would heap-allocate per instance.
+	return in.statement(st, sp)
+}
+
+func (in *interp) statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
+	for _, req := range sp.PerInstance {
+		in.mach.SetAttr(st.ID, req.ID, req.Class)
+		op, err := in.st.InstanceOp(req, sp, int64(in.cfg.Params.ElemBytes))
 		if err != nil {
 			return err
 		}
-		if sp.Flops > 0 {
-			in.mach.SetAttr(st.ID, -1, dist.CommNone)
-			in.mach.Compute(execSet, float64(sp.Flops)*in.cfg.Params.FlopTime)
+		// Communication left inside a loop defeats loop-bound
+		// shrinking: every processor must traverse the iteration space
+		// evaluating the ownership guard, whether or not it
+		// communicates.
+		if in.cfg.Params.GuardTime > 0 {
+			in.mach.Compute(dist.AllProcs(in.st.Grid()), in.cfg.Params.GuardTime)
 		}
-		in.mach.ClearAttr()
-		return nil
+		if op.Skip {
+			continue
+		}
+		if to, one := op.Dst.IsSingle(); one {
+			in.mach.Send(op.From, to, op.Bytes)
+		} else {
+			in.mach.Multicast(op.From, op.Dst, op.Bytes)
+		}
+		if err := in.checkTime(); err != nil {
+			return err
+		}
 	}
-	if in.profile != nil {
-		return in.attribute(st, do)
+	execSet, err := in.st.ExecSet(sp)
+	if err != nil {
+		return err
 	}
-	return do()
+	if sp.Flops > 0 {
+		in.mach.SetAttr(st.ID, -1, dist.CommNone)
+		in.mach.Compute(execSet, float64(sp.Flops)*in.cfg.Params.FlopTime)
+	}
+	in.mach.ClearAttr()
+	return nil
 }
 
 // Redistribute charges the all-to-all an executable redistribution performs
@@ -435,7 +438,7 @@ func (in *interp) checkpointBytes() []int64 {
 	for p := range out {
 		coords := g.Coords(p)
 		b := scalarBytes
-		for _, am := range in.st.Dyn {
+		for _, am := range in.st.Dyn() {
 			if am == nil {
 				continue
 			}
@@ -477,7 +480,7 @@ func (in *interp) refetchCost(p int) (bytes, msgs int64) {
 		if !v.IsArray() {
 			continue
 		}
-		am := in.st.Dyn[v]
+		am := in.st.DynMap(v)
 		if am == nil || am.FullyReplicated() {
 			continue // replicated: every survivor holds a copy
 		}

@@ -108,6 +108,13 @@ type Program struct {
 	Plan  *comm.Plan
 	Stmts map[*ir.Stmt]*StmtPlan
 	Loops map[*ir.Loop]*LoopPlan
+
+	// stmtByID/loopByID are the same plans indexed densely by Stmt.ID and
+	// Loop.ID — the interpreter's per-instance lookup path (PlanOf,
+	// LoopPlanOf) avoids the pointer-keyed maps above, which stay as the
+	// stable API for tools and tests.
+	stmtByID []*StmtPlan
+	loopByID []*LoopPlan
 	// Recovery classifies every variable's post-crash restoration cost
 	// under the chosen mapping (see RecoveryClass).
 	Recovery map[*ir.Var]RecoveryClass
@@ -139,6 +146,24 @@ func (p *Program) StmtLabels() map[int]string {
 }
 
 // Generate builds the SPMD program for a mapping result.
+// PlanOf returns the plan of a statement by its dense ID — the hot-path
+// equivalent of Stmts[st].
+func (p *Program) PlanOf(st *ir.Stmt) *StmtPlan {
+	if p.stmtByID != nil && st.ID >= 0 && st.ID < len(p.stmtByID) {
+		return p.stmtByID[st.ID]
+	}
+	return p.Stmts[st]
+}
+
+// LoopPlanOf returns the plan of a loop by its dense ID — the hot-path
+// equivalent of Loops[l].
+func (p *Program) LoopPlanOf(l *ir.Loop) *LoopPlan {
+	if p.loopByID != nil && l.ID >= 0 && l.ID < len(p.loopByID) {
+		return p.loopByID[l.ID]
+	}
+	return p.Loops[l]
+}
+
 func Generate(res *core.Result) *Program {
 	plan := comm.Analyze(res)
 	p := &Program{
@@ -147,12 +172,21 @@ func Generate(res *core.Result) *Program {
 		Stmts: map[*ir.Stmt]*StmtPlan{},
 		Loops: map[*ir.Loop]*LoopPlan{},
 	}
+	// Execution reads plans by dense statement/loop ID; freeze the variable
+	// numbering alongside so a Program built outside the pass pipeline is
+	// still slot-indexed (AssignSlots is idempotent).
+	ir.AssignSlots(res.Prog)
+	p.stmtByID = make([]*StmtPlan, len(res.Prog.Stmts))
+	p.loopByID = make([]*LoopPlan, len(res.Prog.Loops))
 	for _, st := range res.Prog.Stmts {
-		p.Stmts[st] = p.planStmt(st)
+		sp := p.planStmt(st)
+		p.Stmts[st] = sp
+		p.stmtByID[st.ID] = sp
 	}
 	for _, l := range res.Prog.Loops {
 		lp := &LoopPlan{Loop: l, Hoisted: plan.AtLoop[l]}
 		p.Loops[l] = lp
+		p.loopByID[l.ID] = lp
 	}
 	// Attach reduction combines to their outermost carried loop.
 	for _, m := range res.Scalars {

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"phpf/internal/dist"
+)
+
+// TestChromeTraceLabelEscaping feeds the exporter statement labels containing
+// the characters JSON must escape — quotes, backslashes, newlines, tabs, and
+// control bytes — and checks the emitted trace unmarshals cleanly with
+// encoding/json and round-trips every label verbatim inside the event name.
+func TestChromeTraceLabelEscaping(t *testing.T) {
+	labels := map[int]string{
+		0: `s0 line 1 a("quoted") = ...`,
+		1: `s1 line 2 path\to\x = "a\"b" + ...`,
+		2: "s2 line 3 multi\nline = ...",
+		3: "s3 line 4 tab\tand ctrl \x01 = ...",
+		4: "s4 line 5 unicode é← = ...",
+	}
+	r := New(2, 1, Options{})
+	r.SetLabels(labels)
+	for id := range labels {
+		r.Emit(0, Event{Time: float64(id), Kind: Send, Proc: 0, Peer: 1,
+			Bytes: 8, Class: dist.CommShift, Stmt: int32(id), Req: int32(id)})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) != len(labels) {
+		t.Fatalf("%d trace events, want %d", len(f.TraceEvents), len(labels))
+	}
+	for _, ce := range f.TraceEvents {
+		id := int(ce.TS / 1e6)
+		want := "send shift " + labels[id]
+		if ce.Name != want {
+			t.Errorf("event name %q, want %q (label not round-tripped)", ce.Name, want)
+		}
+	}
+}

@@ -24,4 +24,13 @@ go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
 # stream). `go test -update .` refreshes them after an intentional change.
 go test -run '^TestGolden' .
 
+# Bench-regression gate: smoke-run the hot-path benchmark suite and fail on
+# >15% ns/op regression against the last committed BENCH_<n>.json baseline
+# (scripts/bench.sh appends the next trajectory point after an intentional
+# performance change; commit it to move the baseline). BENCH_SKIP=1 skips
+# the gate (e.g. on heavily loaded machines where timings are meaningless).
+if [ "${BENCH_SKIP:-0}" != "1" ]; then
+    scripts/bench.sh check
+fi
+
 echo "check: OK"
