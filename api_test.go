@@ -93,8 +93,7 @@ func TestBackendRejectsForeignOptions(t *testing.T) {
 	}{
 		{"sim-workers", Simulator(), RunOptions{Workers: 4}},
 		{"sim-stall", Simulator(), RunOptions{StallTimeout: time.Second}},
-		{"concurrent-fault", Concurrent(), RunOptions{Fault: &FaultPlan{LossRate: 0.1, Seed: 1}}},
-		{"concurrent-checkpoint", Concurrent(), RunOptions{CheckpointInterval: 0.1}},
+		{"sim-hard-crashes", Simulator(), RunOptions{HardCrashes: true}},
 		{"concurrent-max", Concurrent(), RunOptions{MaxSeconds: 1}},
 		{"concurrent-profile", Concurrent(), RunOptions{Profile: true}},
 	}
@@ -108,6 +107,29 @@ func TestBackendRejectsForeignOptions(t *testing.T) {
 				t.Fatalf("error %v is not coded E005", err)
 			}
 		})
+	}
+}
+
+// TestConcurrentFaultOptions: the concurrent backend accepts fault plans and
+// checkpoint intervals (they were simulator-only before wall-clock fault
+// tolerance landed) and reports its physical fault activity.
+func TestConcurrentFaultOptions(t *testing.T) {
+	c := compileSmooth(t, 4)
+	ctx := context.Background()
+	rep, err := c.Execute(ctx, Concurrent(), RunOptions{
+		Fault: &FaultPlan{LossRate: 0.2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("concurrent run with fault plan: %v", err)
+	}
+	if rep.WireDrops == 0 {
+		t.Error("seeded loss plan dropped no real transmissions")
+	}
+	if rep.Stats.Retransmits == 0 {
+		t.Error("seeded loss plan charged no modeled retransmits")
+	}
+	if _, err := c.Execute(ctx, Concurrent(), RunOptions{CheckpointInterval: 0.1}); err != nil {
+		t.Fatalf("concurrent run with checkpointing: %v", err)
 	}
 }
 
@@ -144,10 +166,20 @@ func TestDiffTraced(t *testing.T) {
 	if rep.Sim.Trace.CommMatrix().Total().Msgs == 0 {
 		t.Error("sim trace matrix is empty for a communicating program")
 	}
-	// Invalid configurations are rejected with the same coded diagnostic as
-	// the deprecated entry point.
-	if _, err := c.Diff(context.Background(), RunOptions{CheckpointInterval: 1}); err == nil || !strings.Contains(err.Error(), "E005") {
-		t.Fatalf("Diff with checkpointing: got %v, want E005", err)
+	// Faulted differential runs are supported (the same seeded plan goes to
+	// both backends); HardCrashes is the one mode the oracle cannot compare.
+	rep, err = c.Diff(context.Background(), RunOptions{
+		Fault:              &FaultPlan{LossRate: 0.1, Seed: 3},
+		CheckpointInterval: 1,
+	})
+	if err != nil {
+		t.Fatalf("faulted Diff: %v", err)
+	}
+	if !rep.Match() {
+		t.Fatal(rep.String())
+	}
+	if _, err := c.Diff(context.Background(), RunOptions{HardCrashes: true}); err == nil || !strings.Contains(err.Error(), "E005") {
+		t.Fatalf("Diff with HardCrashes: got %v, want E005", err)
 	}
 }
 

@@ -11,6 +11,7 @@ package phpf
 // cmd/phpfbench prints the same tables in the paper's row format.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -190,6 +191,52 @@ end
 	auto.AutoPrivatizeArrays = true
 	b.Run("auto", func(b *testing.B) { benchCell(b, src, 8, auto) })
 	b.Run("off", func(b *testing.B) { benchCell(b, src, 8, SelectedOptions()) })
+}
+
+// --- Fault tolerance: recovery overhead --------------------------------------
+
+// BenchmarkRecoveryOverhead measures the wall-clock cost of the fault
+// protocol on the concurrent backend: a clean run as the baseline, periodic
+// coordinated checkpointing alone, and a mid-loop fail-stop recovered via
+// checkpoint/restart with refetch. The sim-sec/run metric carries the
+// modeled time, which includes the modeled checkpoint and recovery charges —
+// the gap to Clean is the modeled recovery overhead, while ns/op is the
+// physical one.
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	const procs = 4
+	c, err := Compile(DGEFASource(48), procs, SelectedOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean, err := c.Execute(context.Background(), Simulator(), RunOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckpt := clean.Time / 5
+	cases := []struct {
+		name string
+		opts RunOptions
+	}{
+		{"Clean", RunOptions{}},
+		{"Checkpoint", RunOptions{CheckpointInterval: ckpt}},
+		{"CrashRestart", RunOptions{
+			CheckpointInterval: ckpt,
+			Fault:              &FaultPlan{Seed: 5, Crashes: []Crash{{Proc: 1, At: 0.4 * clean.Time}}},
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var simSec float64
+			for i := 0; i < b.N; i++ {
+				rep, err := c.Execute(context.Background(), Concurrent(), tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simSec = rep.Time
+			}
+			b.ReportMetric(simSec, "sim-sec/run")
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures interpreter speed in statement

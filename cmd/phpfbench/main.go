@@ -10,6 +10,7 @@
 //	phpfbench -large          # closer to the paper's sizes (slower)
 //	phpfbench -faults         # loss-rate sweep over the three benchmarks
 //	phpfbench -diff           # differential oracle: concurrent vs simulator
+//	phpfbench -chaos          # seeded physical faults on both backends, oracle-checked
 //	phpfbench -trace-summary  # communication matrix for every sweep point
 package main
 
@@ -29,6 +30,7 @@ func main() {
 	faults := flag.Bool("faults", false, "run the fault sweep (loss rates x strategies x benchmarks) instead of the tables")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault sweep")
 	diff := flag.Bool("diff", false, "run the differential oracle (concurrent executor vs sequential simulator) instead of the tables")
+	chaos := flag.Bool("chaos", false, "run the chaos sweep (seeded loss/dup/crash/checkpoint plans, physically injected into the concurrent backend and oracle-checked against the simulator) instead of the tables")
 	traceSummary := flag.Bool("trace-summary", false, "trace every sweep point (benchmark x strategy x procs) and print its communication matrix instead of the tables")
 	flag.Parse()
 
@@ -73,6 +75,28 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(phpf.FormatTraceSweep(points))
+		return
+	}
+
+	if *chaos {
+		// Chaos needs smaller programs still: each plan runs the concurrent
+		// backend with real retransmission timers and checkpoint barriers.
+		chaosProgs := []phpf.DiffProgram{
+			{Name: "TOMCATV(n=33,niter=2)", Source: phpf.TOMCATVSource(33, 2)},
+			{Name: "DGEFA(n=32)", Source: phpf.DGEFASource(32)},
+			{Name: "APPSP-2D(6^3,niter=1)", Source: phpf.APPSPSource(6, 6, 6, 1, true)},
+		}
+		rows, err := phpf.ChaosSweep(context.Background(), chaosProgs, 4, phpf.DefaultChaosPlans())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatChaosSweep(rows))
+		for _, r := range rows {
+			if !r.Match() {
+				fmt.Fprintln(os.Stderr, "phpfbench: chaos sweep found mismatches")
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

@@ -21,11 +21,17 @@
 //	phpfrun -tomcatv -p 16 -trace-out run.json          # chrome://tracing / Perfetto
 //	phpfrun -dgefa -n 64 -p 8 -exec concurrent -trace-summary
 //
-// Fault injection (deterministic for a fixed -fault-seed; simulator only):
+// Fault injection (deterministic for a fixed -fault-seed; works on both
+// backends — the simulator models the faults in simulated time, the
+// concurrent backend makes them physical: real dropped transmissions,
+// retransmit/backoff on the wire, coordinated checkpoint/restart of the
+// worker goroutines):
 //
 //	phpfrun -dgefa -n 128 -p 8 -fault-seed 42 -loss-rate 0.01
 //	phpfrun -tomcatv -p 16 -crash 3@0.5 -checkpoint-interval 0.1
 //	phpfrun -tomcatv -p 16 -slowdown 2:1.5:0.1:0.4
+//	phpfrun -dgefa -n 64 -p 8 -exec concurrent -fault-seed 42 -loss-rate 0.05
+//	phpfrun -dgefa -n 64 -p 8 -exec concurrent -crash 1@0.2 -checkpoint-interval 0.05 -hard-crashes
 package main
 
 import (
@@ -65,6 +71,8 @@ func main() {
 	slowdowns := flag.String("slowdown", "", "slowdown windows proc:factor[:start[:duration]],...")
 	crashes := flag.String("crash", "", "fail-stop crashes proc@time,proc@time,...")
 	ckptInterval := flag.Float64("checkpoint-interval", 0, "coordinated checkpoint every so many simulated seconds (0 = off)")
+	hardCrashes := flag.Bool("hard-crashes", false, "concurrent backend: scheduled crashes kill the worker goroutine for real (run-level heal)")
+	maxRestarts := flag.Int("max-restarts", 0, "concurrent backend: run-level heals before giving up (0 = default, negative = disabled)")
 	flag.Parse()
 
 	var source string
@@ -137,19 +145,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := phpf.RunOptions{Workers: *workers, StallTimeout: *stallTimeout}
+	run := phpf.RunOptions{
+		Workers:            *workers,
+		StallTimeout:       *stallTimeout,
+		Fault:              plan,
+		CheckpointInterval: *ckptInterval,
+	}
 	if b.Name() == "sim" {
 		// Simulator-only knobs: leave them zero for the concurrent backend,
 		// which would reject them with an E005 diagnostic.
 		run.MaxSeconds = *maxSec
 		run.Profile = *profile
-		run.Fault = plan
-		run.CheckpointInterval = *ckptInterval
 		run.Workers = 0
 		run.StallTimeout = 0
-	} else if plan != nil || *ckptInterval > 0 || *profile || *maxSec > 0 {
-		fmt.Fprintln(os.Stderr, "phpfrun: -fault*/-crash/-checkpoint-interval/-profile/-max are simulator-only (drop -exec concurrent)")
-		os.Exit(2)
+		if *hardCrashes {
+			fmt.Fprintln(os.Stderr, "phpfrun: -hard-crashes needs the concurrent backend (add -exec concurrent)")
+			os.Exit(2)
+		}
+	} else {
+		if *profile || *maxSec > 0 {
+			fmt.Fprintln(os.Stderr, "phpfrun: -profile/-max are simulator-only (drop -exec concurrent)")
+			os.Exit(2)
+		}
+		run.HardCrashes = *hardCrashes
+		run.MaxRestarts = *maxRestarts
 	}
 	if *traceOut != "" || *traceSummary {
 		run.Trace = &phpf.TraceOptions{SampleEvery: *traceSample}
@@ -187,6 +206,13 @@ func main() {
 	}
 	if fs := rep.Stats.FaultString(); fs != "" {
 		fmt.Printf("faults:         %s\n", fs)
+	}
+	if rep.Restarts > 0 || rep.HardRestarts > 0 {
+		fmt.Printf("restarts:       %d coordinated, %d run-level heals\n", rep.Restarts, rep.HardRestarts)
+	}
+	if rep.WireDrops > 0 || rep.WireRetransmits > 0 || rep.WireDuplicates > 0 {
+		fmt.Printf("wire faults:    %d dropped, %d retransmitted, %d duplicated (%d suppressed)\n",
+			rep.WireDrops, rep.WireRetransmits, rep.WireDuplicates, rep.WireDupSuppressed)
 	}
 	if *profile {
 		fmt.Println("hot statements:")

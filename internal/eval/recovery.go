@@ -1,0 +1,86 @@
+// Checkpoint and recovery sizing, shared by both backends: the simulator
+// charges these sizes to its cost model, and the concurrent executor both
+// replays the same charges and uses the itemization to drive its real
+// refetch protocol — which is how the two stay message-for-message aligned.
+package eval
+
+import (
+	"phpf/internal/ir"
+	"phpf/internal/spmd"
+)
+
+// CheckpointBytes returns each processor's live state size: its partition
+// of every (dynamically mapped) array plus one element per scalar variable,
+// at elemBytes bytes per element.
+func CheckpointBytes(s *State, elemBytes int64) []int64 {
+	g := s.Grid()
+	out := make([]int64, g.Size())
+	var scalarBytes int64
+	for _, v := range s.Prog.Res.Prog.VarList {
+		if v.IsArray() || v.IsLoopIndex {
+			continue
+		}
+		scalarBytes += elemBytes
+	}
+	for p := range out {
+		coords := g.Coords(p)
+		b := scalarBytes
+		for _, am := range s.dyn {
+			if am == nil {
+				continue
+			}
+			b += am.LocalElems(g, coords) * elemBytes
+		}
+		out[p] = b
+	}
+	return out
+}
+
+// RefetchItem is one unit of recovery communication for a restarted
+// processor: either that processor's partition of a non-replicated array
+// (Elems > 1 possible) or one refetch-classified scalar (Elems == 1).
+type RefetchItem struct {
+	Var   *ir.Var
+	Elems int64
+	Bytes int64
+}
+
+// RefetchItems lists the recovery communication for restarted processor p
+// under the current dynamic mapping, in deterministic (declaration) order:
+// non-replicated array partitions first, then scalars the SPMD plan
+// classified RecoverRefetch. Replicated copies — the paper's replication
+// mapping — restore locally at zero communication cost.
+func RefetchItems(s *State, p int, elemBytes int64) []RefetchItem {
+	g := s.Grid()
+	coords := g.Coords(p)
+	var out []RefetchItem
+	for _, v := range s.Prog.Res.Prog.VarList {
+		if !v.IsArray() {
+			continue
+		}
+		am := s.dyn[v.Slot]
+		if am == nil || am.FullyReplicated() {
+			continue // replicated: every survivor holds a copy
+		}
+		if n := am.LocalElems(g, coords); n > 0 {
+			out = append(out, RefetchItem{Var: v, Elems: n, Bytes: n * elemBytes})
+		}
+	}
+	for _, v := range s.Prog.Res.Prog.VarList {
+		if v.IsArray() || s.Prog.Recovery[v] != spmd.RecoverRefetch {
+			continue
+		}
+		out = append(out, RefetchItem{Var: v, Elems: 1, Bytes: elemBytes})
+	}
+	return out
+}
+
+// RefetchCost sums RefetchItems into the (bytes, messages) pair the cost
+// model charges for recovering processor p.
+func RefetchCost(s *State, p int, elemBytes int64) (bytes, msgs int64) {
+	for _, it := range RefetchItems(s, p, elemBytes) {
+		bytes += it.Bytes
+		msgs++
+	}
+	return bytes, msgs
+}

@@ -1,0 +1,232 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"phpf/internal/ir"
+	"phpf/internal/spmd"
+)
+
+// recBackend records the walk's event stream as strings and can capture a
+// cursor plus snapshot at a chosen LoopEntry occurrence, then abort at a
+// chosen later event — mimicking a checkpoint followed by a crash.
+type recBackend struct {
+	st     *State
+	events []string
+
+	entries  int // LoopEntry occurrences seen so far
+	ckptAt   int // capture cursor+snapshot at this LoopEntry (0 = never)
+	cursor   Cursor
+	snapshot *Snapshot
+
+	abortAt  int // return errCrash at this event index (0 = never)
+	hasCkpt  bool
+	resuming bool // suppress event recording until the cursor boundary re-fires
+}
+
+var errCrash = errors.New("crash")
+
+func (r *recBackend) ev(s string) error {
+	if !r.resuming {
+		r.events = append(r.events, s)
+	}
+	if r.abortAt > 0 && len(r.events) == r.abortAt {
+		return errCrash
+	}
+	return nil
+}
+
+func (r *recBackend) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
+	r.resuming = false
+	r.entries++
+	if r.ckptAt > 0 && r.entries == r.ckptAt {
+		cur, ok := r.st.Cursor()
+		if !ok {
+			return fmt.Errorf("cursor unavailable inside LoopEntry")
+		}
+		r.cursor = cur
+		r.snapshot = r.st.Snapshot()
+		r.hasCkpt = true
+	}
+	return r.ev(fmt.Sprintf("entry %s", l.Index.Name))
+}
+
+func (r *recBackend) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
+	return r.ev(fmt.Sprintf("exit %s", l.Index.Name))
+}
+
+func (r *recBackend) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
+	return r.ev(fmt.Sprintf("stmt %d@%d", st.ID, r.st.Index(loopIndexOf(r.st, st))))
+}
+
+// loopIndexOf gives a little per-statement context: the innermost loop
+// index value (0 when none is live). Cheap way to make the event stream
+// iteration-sensitive.
+func loopIndexOf(s *State, st *ir.Stmt) *ir.Var {
+	for _, v := range s.Prog.Res.Prog.VarList {
+		if v.IsLoopIndex {
+			return v
+		}
+	}
+	return nil
+}
+
+func (r *recBackend) Redistribute(st *ir.Stmt) error { return r.ev("redist") }
+func (r *recBackend) Tick() error                    { return r.ev("tick") }
+
+const resumeSrc = `
+program t
+parameter n = 6
+real a(n)
+real s
+integer i, j
+!hpf$ distribute (block) :: a
+s = 0.0
+do i = 1, n
+  a(i) = i * 2.0
+  do j = 1, 2
+    s = s + a(i)
+  end do
+end do
+end
+`
+
+// TestWalkResumeMatchesWalk: a tracked walk with no cursor produces the
+// same event stream and final memory image as the plain walk.
+func TestWalkResumeMatchesWalk(t *testing.T) {
+	p := compile(t, resumeSrc, 2)
+
+	plain, _ := NewState(p)
+	rp := &recBackend{st: plain}
+	if err := Walk(plain, rp); err != nil {
+		t.Fatal(err)
+	}
+
+	tracked, _ := NewState(p)
+	rt := &recBackend{st: tracked}
+	if err := WalkResume(tracked, rt, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if fmt.Sprint(rp.events) != fmt.Sprint(rt.events) {
+		t.Fatalf("tracked walk diverged:\nplain:   %v\ntracked: %v", rp.events, rt.events)
+	}
+	compareStates(t, plain, tracked)
+}
+
+// TestCheckpointRestartResume: capture a cursor+snapshot at a mid-program
+// LoopEntry, "crash" later, restore the snapshot, and resume from the
+// cursor. The resumed run must replay exactly the events from the
+// checkpoint boundary onward and end in the same memory image as an
+// uninterrupted run.
+func TestCheckpointRestartResume(t *testing.T) {
+	p := compile(t, resumeSrc, 2)
+
+	// Reference run: full event stream, no interruption.
+	ref, _ := NewState(p)
+	rr := &recBackend{st: ref}
+	if err := WalkResume(ref, rr, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Try checkpointing at every LoopEntry occurrence and crashing at
+	// several points after it.
+	total := 0
+	for _, e := range rr.events {
+		if len(e) > 5 && e[:5] == "entry" {
+			total++
+		}
+	}
+	if total < 3 {
+		t.Fatalf("test program has only %d loop entries", total)
+	}
+	for ckpt := 1; ckpt <= total; ckpt++ {
+		for _, crashDelta := range []int{1, 3, 7} {
+			st, _ := NewState(p)
+			r := &recBackend{st: st, ckptAt: ckpt}
+
+			// Find the event index of the ckpt-th LoopEntry in the
+			// reference stream, then crash crashDelta events later.
+			seen, boundary := 0, -1
+			for i, e := range rr.events {
+				if len(e) > 5 && e[:5] == "entry" {
+					seen++
+					if seen == ckpt {
+						boundary = i
+						break
+					}
+				}
+			}
+			crashAt := boundary + 1 + crashDelta
+			if crashAt > len(rr.events) {
+				continue
+			}
+			r.abortAt = crashAt
+			err := WalkResume(st, r, nil)
+			if !errors.Is(err, errCrash) {
+				t.Fatalf("ckpt=%d crash=%d: walk returned %v, want crash", ckpt, crashDelta, err)
+			}
+			if !r.hasCkpt {
+				t.Fatalf("ckpt=%d: checkpoint never captured", ckpt)
+			}
+
+			// Restore and resume. The resumed stream (starting with the
+			// re-fired LoopEntry at the boundary) must equal the reference
+			// suffix from the boundary.
+			st.Restore(r.snapshot)
+			r2 := &recBackend{st: st}
+			if err := WalkResume(st, r2, &r.cursor); err != nil {
+				t.Fatalf("ckpt=%d crash=%d: resume failed: %v", ckpt, crashDelta, err)
+			}
+			want := fmt.Sprint(rr.events[boundary:])
+			if got := fmt.Sprint(r2.events); got != want {
+				t.Fatalf("ckpt=%d crash=%d: resumed stream diverged:\nwant %s\ngot  %s",
+					ckpt, crashDelta, want, got)
+			}
+			compareStates(t, ref, st)
+		}
+	}
+}
+
+// TestSnapshotRestoreRoundTrip: restoring a snapshot returns every scalar,
+// index, and array element to the captured values.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	p := compile(t, resumeSrc, 2)
+	st, _ := NewState(p)
+	if err := Walk(st, &recBackend{st: st}); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	ref, _ := NewState(p)
+	if err := Walk(ref, &recBackend{st: ref}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scribble over the live image, then restore.
+	a := p.Res.Prog.LookupVar("a")
+	st.Array(a)[0] = -999
+	sv := p.Res.Prog.LookupVar("s")
+	st.scalars[sv.Slot] = -999
+	st.Restore(snap)
+	compareStates(t, ref, st)
+}
+
+func compareStates(t *testing.T, want, got *State) {
+	t.Helper()
+	for i := range want.scalars {
+		if want.scalars[i] != got.scalars[i] || want.scalarSet[i] != got.scalarSet[i] {
+			t.Fatalf("scalar slot %d: got %v/%v, want %v/%v",
+				i, got.scalars[i], got.scalarSet[i], want.scalars[i], want.scalarSet[i])
+		}
+	}
+	for i := range want.arrays {
+		for j := range want.arrays[i] {
+			if want.arrays[i][j] != got.arrays[i][j] {
+				t.Fatalf("array slot %d elem %d: got %v, want %v",
+					i, j, got.arrays[i][j], want.arrays[i][j])
+			}
+		}
+	}
+}

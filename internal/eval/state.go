@@ -91,6 +91,11 @@ type State struct {
 
 	// idxScratch is the reusable subscript buffer OwnerSet evaluates into.
 	idxScratch []int64
+
+	// walk points at the tracked walker currently interpreting this state
+	// (nil outside WalkResume); Cursor reads the resume path through it.
+	// Deliberately excluded from snapshots.
+	walk *walker
 }
 
 // unionContrib is one owner-driven statement's static contribution to a

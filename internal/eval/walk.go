@@ -47,7 +47,7 @@ func (e *GotoEscapeError) Error() string {
 // first error a callback or the value semantics produce.
 func Walk(s *State, b Backend) error {
 	w := &walker{s: s, b: b}
-	ctl, err := w.nodes(s.Prog.Res.Prog.Body)
+	ctl, err := w.nodes(s.Prog.Res.Prog.Body, false)
 	if err != nil {
 		return err
 	}
@@ -72,9 +72,25 @@ type control struct {
 type walker struct {
 	s *State
 	b Backend
+
+	// Resume-cursor tracking (see resume.go). Plain Walk leaves track off,
+	// so the simulator's hot path pays nothing for it.
+	track bool
+	path  []frame
+	pend  pending
+	seek  []frame
+	// Bounds of the seek target loop, recorded by the cursor so resumption
+	// does not re-evaluate (and re-charge) the bounds expressions.
+	seekLo, seekHi, seekStep int64
 }
 
-func (w *walker) nodes(nodes []ir.Node) (control, error) {
+// nodes interprets one statement list. els distinguishes an IF's else
+// branch from its then branch in the resume cursor; the untracked path
+// ignores it.
+func (w *walker) nodes(nodes []ir.Node, els bool) (control, error) {
+	if w.track {
+		return w.nodesTracked(nodes, els)
+	}
 	for i := 0; i < len(nodes); i++ {
 		ctl, err := w.node(nodes[i])
 		if err != nil {
@@ -143,24 +159,51 @@ func (w *walker) loop(l *ir.Loop) (control, error) {
 		// purpose of any aggregated transfer; set it to lo so affine
 		// evaluation has a defined base.
 		s.indices[l.Index.Slot] = lo
-		if err := w.b.LoopEntry(l, lp); err != nil {
+		// A checkpoint cursor may be captured inside this callback; the
+		// pending bounds complete it (see State.Cursor).
+		w.pend = pending{lo: lo, hi: hi, step: step, ok: w.track}
+		err := w.b.LoopEntry(l, lp)
+		w.pend.ok = false
+		if err != nil {
 			return control{}, err
 		}
 	}
+	return w.iterate(l, lp, lo, hi, step)
+}
 
+// iterate runs the loop body over [lo,hi]/step and fires LoopExit. It is
+// shared by the normal walk, cursor resumption (which re-fires the target
+// loop's LoopEntry first), and cursor seeking (which enters an enclosing
+// loop mid-flight without re-firing its LoopEntry).
+func (w *walker) iterate(l *ir.Loop, lp *spmd.LoopPlan, lo, hi, step int64) (control, error) {
+	s := w.s
+	depth := -1
+	if w.track {
+		depth = len(w.path)
+		w.path = append(w.path, frame{loop: true, v: lo, hi: hi, step: step})
+	}
 	for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+		if w.track {
+			w.path[depth].v = v
+		}
 		s.indices[l.Index.Slot] = v
 		s.epoch++
-		ctl, err := w.nodes(l.Body)
+		ctl, err := w.nodes(l.Body, false)
 		if err != nil {
 			return control{}, err
 		}
 		if ctl.kind == ctlGoto {
+			if w.track {
+				w.path = w.path[:depth]
+			}
 			return ctl, nil // escaping goto terminates the loop
 		}
 		if err := w.b.Tick(); err != nil {
 			return control{}, err
 		}
+	}
+	if w.track {
+		w.path = w.path[:depth]
 	}
 
 	if lp != nil {
@@ -180,9 +223,9 @@ func (w *walker) ifNode(ifn *ir.If) (control, error) {
 		return control{}, err
 	}
 	if c != 0 {
-		return w.nodes(ifn.Then)
+		return w.nodes(ifn.Then, false)
 	}
-	return w.nodes(ifn.Else)
+	return w.nodes(ifn.Else, true)
 }
 
 // stmt reports the statement to the backend (communication and computation

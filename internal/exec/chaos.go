@@ -1,0 +1,424 @@
+// Chaos mode: wall-clock fault tolerance for the concurrent backend.
+//
+// When the run has an active fault plan or a checkpoint interval, every
+// worker replays the cost model on its own machine with its own seeded
+// injector — the identical call sequence the simulator makes, so modeled
+// Stats, simulated Time, and fault-event counts agree with sim bitwise by
+// construction (the differential oracle demands exactly that).
+//
+// Crash recovery has two paths. The default, coordinated path mirrors the
+// simulator's model: a scheduled fail-stop crash fires at the same
+// crash-check site on every worker (same injector, same draw), each worker
+// replays the simulator's Recover charge, restores its own memory from the
+// last coordinated checkpoint snapshot, physically refetches the crashed
+// processor's non-replicated state from a survivor, and re-executes the
+// lost interval with accounting and tracing suppressed — so the final cost
+// model never double-charges. The hard path (Config.HardCrashes, real
+// panics, stalls) kills the worker set for real and heals at the run level:
+// Run restores all workers from executor-held snapshots of the last
+// complete checkpoint generation and re-spawns them with fresh transport.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phpf/internal/eval"
+	"phpf/internal/fault"
+	"phpf/internal/machine"
+)
+
+// workerSnap is one worker's published checkpoint: everything needed to
+// rebuild the worker at that boundary. The memory snapshot serves the
+// coordinated in-band restore; the rest (sequence counters, machine
+// accounting, injector draw position) serves the run-level heal, which
+// rebuilds transport from scratch.
+type workerSnap struct {
+	gen      int64
+	state    *eval.Snapshot
+	cursor   eval.Cursor
+	sendSeq  []uint64
+	recvSeq  []uint64
+	mach     machine.State
+	inj      *fault.Injector
+	lastCkpt float64
+	valid    bool
+}
+
+// crashSignal unwinds a worker's walk when scheduled fail-stop crashes fire
+// at a crash-check site (coordinated path). Every worker returns the same
+// signal at the same site; the driver loop in runChaosWorker restores and
+// resumes.
+type crashSignal struct {
+	crashes []fault.Crash
+	target  int64 // site counter at the crash: replay suppression lifts here
+}
+
+func (c *crashSignal) Error() string {
+	return fmt.Sprintf("exec: %d scheduled crash(es) fired", len(c.crashes))
+}
+
+// failStop is the panic value of a hard scheduled crash: the worker dies
+// mid-protocol and the run-level heal recovers.
+type failStop struct {
+	crash fault.Crash
+	at    float64 // replayed clock when the crash fired
+}
+
+// healState is the plan for one run-level heal: a complete snapshot
+// generation, plus the crash to account and refetch (nil for stalls and
+// real panics with no modeled crash time).
+type healState struct {
+	snaps []workerSnap
+	crash *fault.Crash
+	at    float64 // replayed clock of the crash (0 when crash is nil)
+}
+
+// setupChaos equips every worker with its replay machine and injector and,
+// on a heal, rewinds them to the heal's checkpoint generation. It runs on
+// Run's goroutine before workers spawn, so worker 0's shard-0 trace
+// emission from the Recover charge below is race-free.
+func (ex *executor) setupChaos(workers []*worker, heal *healState) {
+	ex.machines = make([]*machine.Machine, ex.n)
+	for p, w := range workers {
+		m := machine.New(ex.prog.Grid(), ex.cfg.Params)
+		inj := fault.NewInjector(ex.cfg.Fault)
+		if heal != nil {
+			snap := heal.snaps[p]
+			m.RestoreState(snap.mach)
+			inj = snap.inj.Clone()
+			w.gen = snap.gen
+			w.lastCkpt = snap.lastCkpt
+			copy(w.sendSeq, snap.sendSeq)
+			copy(w.recvSeq, snap.recvSeq)
+			cur := snap.cursor
+			w.resume = &cur
+			// Re-seed the published snapshots so a second failure before
+			// the next checkpoint can heal from the same generation.
+			ex.snaps[p] = snap
+			ex.prevSnaps[p] = workerSnap{}
+		}
+		m.Fault = inj
+		if p == 0 {
+			ex.mach = m
+			if ex.rec != nil {
+				// Worker 0's replay machine contributes the fault-protocol
+				// events (checkpoint/restart/fault) stamped with wall time;
+				// everything else the workers emit themselves from real
+				// activity, so nothing is double-counted.
+				m.Rec = ex.rec
+				m.FaultEventsOnly = true
+				m.Now = ex.wall
+			}
+		}
+		ex.machines[p] = m
+		w.mach = m
+		w.inj = inj
+	}
+	if heal == nil || heal.crash == nil {
+		return
+	}
+	// Replay the simulator's recovery accounting for the healed crash on
+	// every machine, mark the crash consumed so it cannot refire, and
+	// schedule the physical refetch at worker start.
+	for p, w := range workers {
+		snap := heal.snaps[p]
+		lost := heal.at - snap.lastCkpt
+		if lost < 0 {
+			lost = 0
+		}
+		bytes, msgs := eval.RefetchCost(w.st, heal.crash.Proc, int64(ex.cfg.Params.ElemBytes))
+		ex.machines[p].Recover(heal.crash.Proc, lost, bytes, msgs)
+		w.lastCkpt = ex.machines[p].Time()
+		w.inj.Consume(*heal.crash)
+		w.healCrash = heal.crash
+	}
+}
+
+// runChaosWorker is the chaos-mode worker driver: a tracked walk wrapped in
+// the coordinated restore loop.
+func (ex *executor) runChaosWorker(w *worker) error {
+	if w.resume == nil {
+		// The program start is a free, trivially consistent checkpoint:
+		// gen 1 with a zero cursor (resume from the top).
+		w.takeSnapshot()
+	} else if w.healCrash != nil {
+		c := *w.healCrash
+		w.healCrash = nil
+		if err := w.refetchAll([]fault.Crash{c}); err != nil {
+			return err
+		}
+	}
+	cur := w.resume
+	w.resume = nil
+	for {
+		err := eval.WalkResume(w.st, w, cur)
+		if err == nil {
+			// Drain any message batch left open by trailing statements.
+			err = w.flushBatch()
+		}
+		var cs *crashSignal
+		if !errors.As(err, &cs) {
+			return err
+		}
+		// Coordinated restore: every worker caught the same signal at the
+		// same site. Memory rolls back to the last checkpoint; the machine
+		// and injector do NOT (they went through Recover, exactly like the
+		// simulator's, and replay suppression keeps their draw streams
+		// aligned); sequence counters roll forward so re-executed sends get
+		// fresh, consistent numbers on every edge.
+		snap := ex.snaps[w.proc]
+		w.st.Restore(snap.state)
+		w.batch = openBatch{}
+		w.replay = true
+		w.replayTarget = cs.target
+		w.sites = 0
+		if w.proc == 0 {
+			ex.softRestarts += int64(len(cs.crashes))
+		}
+		if err := w.refetchAll(cs.crashes); err != nil {
+			return err
+		}
+		c2 := snap.cursor
+		cur = &c2
+	}
+}
+
+// crashCheck is one crash-check site — placed exactly where the simulator
+// calls checkTime (per loop tick, after each hoisted communication, after
+// each non-skipped per-instance communication, after a redistribution).
+// During replay it only advances the site counter, lifting suppression at
+// the recorded crash site.
+func (w *worker) crashCheck() error {
+	w.sites++
+	if w.replay {
+		if w.sites >= w.replayTarget {
+			w.replay = false
+		}
+		return nil
+	}
+	if w.inj == nil {
+		return nil
+	}
+	var crashes []fault.Crash
+	// Drain until quiescent, like the simulator: each Recover advances the
+	// clocks, which may bring the next scheduled crash due.
+	for {
+		c := w.inj.PendingCrash(w.mach.Time())
+		if c == nil {
+			break
+		}
+		if w.ex.cfg.HardCrashes {
+			if c.Proc == w.proc {
+				panic(&failStop{crash: *c, at: w.mach.Time()})
+			}
+			// Peers let the doomed worker's panic tear the attempt down;
+			// the run-level heal restores everyone (their own injector is
+			// rebuilt from the snapshot then, so consuming here is safe).
+			continue
+		}
+		lost := w.mach.Time() - w.lastCkpt
+		if lost < 0 {
+			lost = 0
+		}
+		bytes, msgs := eval.RefetchCost(w.st, c.Proc, w.elemBytes())
+		w.mach.Recover(c.Proc, lost, bytes, msgs)
+		w.lastCkpt = w.mach.Time()
+		crashes = append(crashes, *c)
+	}
+	if len(crashes) == 0 {
+		return nil
+	}
+	return &crashSignal{crashes: crashes, target: w.sites}
+}
+
+// maybeCheckpoint takes a coordinated checkpoint when the replayed clock
+// has advanced past the interval — the same condition, at the same
+// loop-entry boundaries, as the simulator — then synchronizes all workers
+// with a real barrier and publishes a snapshot. Suppressed during replay:
+// by definition no checkpoint fired between the restored checkpoint and the
+// crash, so none may fire during re-execution either.
+func (w *worker) maybeCheckpoint() error {
+	if w.replay || w.ex.cfg.CheckpointInterval <= 0 {
+		return nil
+	}
+	now := w.mach.Time()
+	if now-w.lastCkpt < w.ex.cfg.CheckpointInterval {
+		return nil
+	}
+	w.mach.ClearAttr()
+	w.mach.Checkpoint(eval.CheckpointBytes(w.st, w.elemBytes()))
+	w.lastCkpt = w.mach.Time()
+	// The barrier before the snapshot bounds generation skew to one: a
+	// worker publishing gen k+1 proves every worker reached this boundary,
+	// so all hold at least gen k — the run-level heal relies on that.
+	if err := w.starBarrier(tagCkpt, tagCkptRelease, "checkpoint"); err != nil {
+		return err
+	}
+	w.takeSnapshot()
+	w.sites = 0
+	return nil
+}
+
+// takeSnapshot publishes this worker's next checkpoint generation. The
+// worker writes only its own slot; Run reads the slots after the workers
+// join, so the accesses are ordered by the WaitGroup.
+func (w *worker) takeSnapshot() {
+	cur, _ := w.st.Cursor() // zero cursor (resume from start) outside LoopEntry
+	w.gen++
+	snap := workerSnap{
+		gen:      w.gen,
+		state:    w.st.Snapshot(),
+		cursor:   cur,
+		sendSeq:  append([]uint64(nil), w.sendSeq...),
+		recvSeq:  append([]uint64(nil), w.recvSeq...),
+		mach:     w.mach.SaveState(),
+		inj:      w.inj.Clone(),
+		lastCkpt: w.lastCkpt,
+		valid:    true,
+	}
+	w.ex.prevSnaps[w.proc] = w.ex.snaps[w.proc]
+	w.ex.snaps[w.proc] = snap
+}
+
+// refetchAll performs the physical recovery refetch: for each crashed
+// processor, the lowest surviving worker streams that processor's
+// non-replicated state — one message per eval.RefetchItem, exactly the
+// modeled RecoveryMessages — carrying the element count and a checksum the
+// restarted worker verifies against its restored image.
+func (w *worker) refetchAll(crashes []fault.Crash) error {
+	crashed := make(map[int]bool, len(crashes))
+	for _, c := range crashes {
+		crashed[c.Proc] = true
+	}
+	src := -1
+	for p := 0; p < w.ex.n; p++ {
+		if !crashed[p] {
+			src = p
+			break
+		}
+	}
+	if src < 0 {
+		return nil // everyone crashed: the local restores are all there is
+	}
+	for _, c := range crashes {
+		if w.proc != src && w.proc != c.Proc {
+			continue
+		}
+		items := eval.RefetchItems(w.st, c.Proc, w.elemBytes())
+		what := fmt.Sprintf("recovery refetch for p%d", c.Proc)
+		for _, it := range items {
+			sum := w.itemSum(it)
+			if w.proc == src {
+				m := message{req: tagRefetch, count: int32(it.Elems), hasVal: true, bits: sum}
+				if err := w.send(c.Proc, m, what); err != nil {
+					return err
+				}
+				continue
+			}
+			got, err := w.recv(src, tagRefetch, what)
+			if err != nil {
+				return err
+			}
+			if int64(got.count) != it.Elems {
+				return &DivergenceError{Proc: w.proc, Peer: src,
+					What: what + ": " + it.Var.Name + " (element count)",
+					Got:  float64(got.count), Want: float64(it.Elems)}
+			}
+			if got.hasVal && got.bits != sum {
+				return &DivergenceError{Proc: w.proc, Peer: src,
+					What: what + ": " + it.Var.Name + " (checksum)",
+					Got:  math.Float64frombits(got.bits), Want: math.Float64frombits(sum)}
+			}
+		}
+	}
+	return nil
+}
+
+// itemSum folds one refetch item's current local value into a checksum:
+// the full array image for arrays (identical on both sides under
+// replicated execution), the scalar's bit pattern otherwise.
+func (w *worker) itemSum(it eval.RefetchItem) uint64 {
+	sum := uint64(fnvOffset)
+	if it.Var.IsArray() {
+		for _, x := range w.st.Array(it.Var) {
+			sum = fnvAdd(sum, math.Float64bits(x))
+		}
+		return sum
+	}
+	return fnvAdd(sum, math.Float64bits(w.st.Scalar(it.Var)))
+}
+
+// healable reports whether a run-level heal can answer this error: worker
+// deaths (panics, hard crashes) and stalls — not divergence or protocol
+// violations, which a retry would only mask.
+func healable(err error) bool {
+	var we *WorkerError
+	var se *StallError
+	return errors.As(err, &we) || errors.As(err, &se)
+}
+
+// buildHeal assembles the restore plan for a run-level heal: the newest
+// checkpoint generation every worker holds (the checkpoint barrier bounds
+// skew to one, so it is the minimum of the latest generations), plus the
+// crash to account when the failure was a scheduled fail-stop.
+func (ex *executor) buildHeal(err error) *healState {
+	g := int64(math.MaxInt64)
+	for i := range ex.snaps {
+		if !ex.snaps[i].valid {
+			return nil
+		}
+		if ex.snaps[i].gen < g {
+			g = ex.snaps[i].gen
+		}
+	}
+	snaps := make([]workerSnap, ex.n)
+	for i := range snaps {
+		switch {
+		case ex.snaps[i].gen == g:
+			snaps[i] = ex.snaps[i]
+		case ex.prevSnaps[i].valid && ex.prevSnaps[i].gen == g:
+			snaps[i] = ex.prevSnaps[i]
+		default:
+			return nil
+		}
+	}
+	h := &healState{snaps: snaps}
+	var we *WorkerError
+	if errors.As(err, &we) {
+		if fs, ok := we.PanicValue.(*failStop); ok {
+			h.crash = &fs.crash
+			h.at = fs.at
+		} else {
+			// A real panic has no modeled crash time: account a crash of
+			// that processor with no lost-work charge beyond the refetch.
+			h.crash = &fault.Crash{Proc: we.Proc}
+			h.at = snaps[we.Proc].lastCkpt
+		}
+	}
+	return h
+}
+
+// checkMachineAgreement verifies every worker's replayed cost model agrees
+// bitwise with worker 0's — the chaos-mode analogue of the memory
+// consistency sweep (identical machines prove the replicated fault draws
+// never diverged).
+func (ex *executor) checkMachineAgreement() error {
+	if !ex.chaos {
+		return nil
+	}
+	ref := ex.machines[0]
+	for p := 1; p < len(ex.machines); p++ {
+		m := ex.machines[p]
+		if math.Float64bits(m.Time()) != math.Float64bits(ref.Time()) {
+			return &DivergenceError{Proc: p, Peer: 0, What: "replayed simulated time",
+				Got: m.Time(), Want: ref.Time()}
+		}
+		if m.Stats != ref.Stats {
+			return &DivergenceError{Proc: p, Peer: 0, What: "replayed cost-model statistics",
+				Got: float64(m.Stats.Messages), Want: float64(ref.Stats.Messages)}
+		}
+	}
+	return nil
+}

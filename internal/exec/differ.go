@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"phpf/internal/dist"
+	"phpf/internal/fault"
 	"phpf/internal/sim"
 	"phpf/internal/spmd"
 	"phpf/internal/trace"
@@ -21,16 +22,31 @@ import (
 
 // Differ runs both backends and compares their results.
 type Differ struct {
-	// Sim configures the sequential reference run. It must be fault-free
-	// (no fault plan, no checkpointing): faults perturb the simulator's
-	// stats nondeterministically relative to a live run.
+	// Sim configures the sequential reference run. Fault plans and
+	// checkpoint intervals must not be set here directly — use the shared
+	// Fault/CheckpointInterval fields below, which apply the identical
+	// seeded plan to both backends (the only configuration under which
+	// their fault accounting is comparable).
 	Sim sim.Config
-	// Exec configures the concurrent run.
+	// Exec configures the concurrent run. Its Fault/CheckpointInterval
+	// must likewise be left to the shared fields; HardCrashes is rejected
+	// outright (run-level heals re-execute wall intervals the simulator
+	// never models twice).
 	Exec Config
 	// Trace, when non-nil, traces both runs and extends the comparison to
 	// event-level agreement: per-communication-class message and byte
-	// counts, and the number of reduction collectives, must match exactly.
+	// counts, and the counts of reduction, fault, checkpoint, and restart
+	// events, must match exactly.
 	Trace *trace.Options
+
+	// Fault, when non-nil and active, injects the same seeded fault plan
+	// into both backends. The concurrent backend replays the simulator's
+	// seeded draws, so modeled stats and fault-event counts must agree
+	// bitwise — which is exactly what the comparison then checks.
+	Fault *fault.Plan
+	// CheckpointInterval, when > 0, enables coordinated checkpointing at
+	// the same simulated-time interval in both backends.
+	CheckpointInterval float64
 }
 
 // DiffReport is the outcome of one differential run.
@@ -59,12 +75,25 @@ func (r *DiffReport) String() string {
 // backend failed to run (or the configuration is unusable for differential
 // testing); a completed report with mismatches means the backends disagree.
 func (d Differ) Run(ctx context.Context, p *spmd.Program) (*DiffReport, error) {
-	if d.Sim.Fault.Active() {
-		return nil, &ConfigError{Msg: "differential oracle requires a fault-free simulator config"}
+	if d.Sim.Fault.Active() && !plansEqual(d.Sim.Fault, d.Fault) {
+		return nil, &ConfigError{Msg: "differential oracle takes the fault plan via Differ.Fault (it must be identical for both backends)"}
 	}
-	if d.Sim.CheckpointInterval > 0 {
-		return nil, &ConfigError{Msg: "differential oracle requires checkpointing off (the concurrent backend takes none)"}
+	if d.Exec.Fault.Active() && !plansEqual(d.Exec.Fault, d.Fault) {
+		return nil, &ConfigError{Msg: "differential oracle takes the fault plan via Differ.Fault (it must be identical for both backends)"}
 	}
+	if d.Sim.CheckpointInterval > 0 && d.Sim.CheckpointInterval != d.CheckpointInterval {
+		return nil, &ConfigError{Msg: "differential oracle takes the checkpoint interval via Differ.CheckpointInterval (it must be identical for both backends)"}
+	}
+	if d.Exec.CheckpointInterval > 0 && d.Exec.CheckpointInterval != d.CheckpointInterval {
+		return nil, &ConfigError{Msg: "differential oracle takes the checkpoint interval via Differ.CheckpointInterval (it must be identical for both backends)"}
+	}
+	if d.Exec.HardCrashes {
+		return nil, &ConfigError{Msg: "differential oracle cannot compare HardCrashes runs (run-level heals re-execute intervals the simulator models once)"}
+	}
+	d.Sim.Fault = d.Fault
+	d.Exec.Fault = d.Fault
+	d.Sim.CheckpointInterval = d.CheckpointInterval
+	d.Exec.CheckpointInterval = d.CheckpointInterval
 	if d.Trace != nil {
 		d.Sim.Trace = d.Trace
 		d.Exec.Trace = d.Trace
@@ -152,6 +181,13 @@ func (r *DiffReport) compare() {
 		{"reductions", ss.Reductions, es.Reductions},
 		{"point-to-point", ss.PointToPoint, es.PointToPoint},
 		{"all-to-alls", ss.AllToAlls, es.AllToAlls},
+		{"retransmits", ss.Retransmits, es.Retransmits},
+		{"duplicates", ss.Duplicates, es.Duplicates},
+		{"crashes", ss.Crashes, es.Crashes},
+		{"checkpoints", ss.Checkpoints, es.Checkpoints},
+		{"checkpoint bytes", ss.CheckpointBytes, es.CheckpointBytes},
+		{"recovery bytes", ss.RecoveryBytes, es.RecoveryBytes},
+		{"recovery messages", ss.RecoveryMessages, es.RecoveryMessages},
 	}
 	for _, c := range counters {
 		if c.sim != c.exec {
@@ -178,5 +214,38 @@ func (r *DiffReport) compare() {
 		if s, e := st.KindCount(trace.Reduce), et.KindCount(trace.Reduce); s != e {
 			miss("trace reduce events: sim %d, exec %d", s, e)
 		}
+		// Per-class fault-protocol events: both backends emit them from the
+		// same replayed injector draws, so the counts must coincide.
+		for _, k := range []trace.Kind{trace.Fault, trace.Checkpoint, trace.Restart} {
+			if s, e := st.KindCount(k), et.KindCount(k); s != e {
+				miss("trace %s events: sim %d, exec %d", k, s, e)
+			}
+		}
 	}
+}
+
+// plansEqual reports whether two fault plans describe the same injection
+// (nil and inactive plans count as equal).
+func plansEqual(a, b *fault.Plan) bool {
+	if !a.Active() && !b.Active() {
+		return true
+	}
+	if !a.Active() || !b.Active() {
+		return false
+	}
+	if a.Seed != b.Seed || a.LossRate != b.LossRate || a.DupRate != b.DupRate ||
+		a.RTO != b.RTO || len(a.Crashes) != len(b.Crashes) || len(a.Slowdowns) != len(b.Slowdowns) {
+		return false
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			return false
+		}
+	}
+	for i := range a.Slowdowns {
+		if a.Slowdowns[i] != b.Slowdowns[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -54,6 +54,7 @@ import (
 	"phpf/internal/comm"
 	"phpf/internal/dist"
 	"phpf/internal/eval"
+	"phpf/internal/fault"
 	"phpf/internal/ir"
 	"phpf/internal/machine"
 	"phpf/internal/spmd"
@@ -91,12 +92,46 @@ type Config struct {
 	// Nil keeps the event path emission-free.
 	Trace *trace.Options
 
+	// Fault, when non-nil and active, injects the seeded fault plan into
+	// the run at two layers. The model layer replays the simulator's fault
+	// accounting on every worker (identical seeded draws, so Stats, Time,
+	// and fault-event counts agree bitwise with sim for the same plan).
+	// The wire layer makes losses, duplicates, and slowdowns physical:
+	// keyed per-(src,dst,seq,attempt) draws drop or duplicate real mailbox
+	// transmissions, healed by an ack/retransmit protocol with exponential
+	// backoff — reproducible for a fixed seed regardless of goroutine
+	// interleaving.
+	Fault *fault.Plan
+	// CheckpointInterval > 0 takes coordinated checkpoints — barrier-
+	// aligned dense snapshots of every worker's eval.State — whenever the
+	// replayed cost model's simulated clock has advanced that many seconds
+	// since the last one, at the same loop-entry boundaries the simulator
+	// checkpoints at (so the two backends' checkpoint schedules coincide).
+	CheckpointInterval float64
+	// MaxRestarts bounds run-level heals: full restarts from the last
+	// complete checkpoint after a real worker panic or a watchdog-detected
+	// stall. 0 means DefaultMaxRestarts; negative disables healing.
+	MaxRestarts int
+	// HardCrashes makes scheduled fail-stop crashes kill the worker
+	// goroutine for real (a panic unwinds it mid-protocol) instead of the
+	// default coordinated unwind. Recovery then goes through the run-level
+	// heal path: crash detection by cancellation/watchdog, restore of all
+	// workers from executor-held snapshots, re-spawn with refetch. Wall
+	// traces then legitimately double-cover the re-executed interval, so
+	// the differential oracle rejects this mode.
+	HardCrashes bool
+
 	// Test hooks (package-internal): testDropSend suppresses a worker's
 	// sends for a requirement, wedging its receivers on purpose; testHook
-	// runs at every loop-iteration tick.
-	testDropSend func(proc int, req *comm.Requirement) bool
-	testHook     func(proc int) error
+	// runs at every loop-iteration tick; testDelayUnit overrides the wall
+	// time one slowdown unit costs a sender.
+	testDropSend  func(proc int, req *comm.Requirement) bool
+	testHook      func(proc int) error
+	testDelayUnit time.Duration
 }
+
+// DefaultMaxRestarts is the default bound on run-level heals.
+const DefaultMaxRestarts = 3
 
 // Result is the outcome of a concurrent run.
 type Result struct {
@@ -121,6 +156,23 @@ type Result struct {
 	// of planned communication match the simulator's trace exactly, which
 	// the differential oracle verifies.
 	Trace *trace.Recorder
+
+	// Restarts counts coordinated checkpoint restores: fail-stop crashes
+	// recovered in-band by rolling every worker back to the last snapshot
+	// and re-executing with accounting suppressed.
+	Restarts int64
+	// HardRestarts counts run-level heals (panic or stall recoveries that
+	// rebuilt the worker set from executor-held snapshots).
+	HardRestarts int
+	// Wire-layer fault activity: real transmissions dropped by the seeded
+	// injector, retransmissions after RTO expiry, duplicates put on the
+	// wire, and duplicates suppressed by sequence number at the receiver.
+	// These count physical events; the modeled fault counters live in
+	// Stats, where the differential oracle compares them against sim.
+	WireDrops         int64
+	WireRetransmits   int64
+	WireDuplicates    int64
+	WireDupSuppressed int64
 }
 
 // message is one mailbox entry. Each directed edge carries an independent
@@ -141,6 +193,9 @@ const (
 	tagReduceResult = -3 // root -> member combined-result message
 	tagBarrier      = -4 // member -> coordinator redistribution barrier
 	tagRelease      = -5 // coordinator -> member barrier release
+	tagCkpt         = -6 // member -> coordinator checkpoint barrier
+	tagCkptRelease  = -7 // coordinator -> member checkpoint release
+	tagRefetch      = -8 // survivor -> restarted recovery refetch
 )
 
 type executor struct {
@@ -149,11 +204,14 @@ type executor struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	n      int
+	depth  int
 
 	// mail[from][to] is the bounded mailbox for one directed edge.
 	mail [][]chan message
 	// mach is the accountant's machine; owned exclusively by worker 0's
-	// goroutine while workers run, read by Run after they all finish.
+	// goroutine while workers run, read by Run after they all finish. In
+	// chaos mode it is worker 0's replay machine (every worker then owns
+	// one; see machines).
 	mach *machine.Machine
 	wd   *watchdog
 	// reqDesc names each planned requirement for watchdog reports.
@@ -165,6 +223,31 @@ type executor struct {
 	start time.Time
 
 	traffic atomic.Int64
+
+	// Chaos mode (an active fault plan or a checkpoint interval): every
+	// worker replays the cost model on its own machine with its own
+	// injector clone, snapshots its state at coordinated checkpoints, and
+	// the wire layer (when the plan has wire faults) drops, duplicates,
+	// and delays real transmissions.
+	chaos    bool
+	winj     *fault.WallInjector
+	wire     *wireNet
+	machines []*machine.Machine
+	// snaps/prevSnaps hold each worker's last two published checkpoint
+	// snapshots. A worker writes only its own slot; Run reads them after
+	// the workers join (the WaitGroup orders the accesses).
+	snaps     []workerSnap
+	prevSnaps []workerSnap
+
+	// softRestarts counts coordinated in-band restores (written by worker
+	// 0's goroutine, read by Run after the join).
+	softRestarts int64
+
+	wireDrops    atomic.Int64
+	wireRetrans  atomic.Int64
+	wireDups     atomic.Int64
+	wireDupSupp  atomic.Int64
+	hardRestarts int
 }
 
 // wall is the run-relative wall clock in seconds.
@@ -200,21 +283,35 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	if stall == 0 {
 		stall = DefaultStallTimeout
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	if cfg.Fault.Active() {
+		for _, c := range cfg.Fault.Crashes {
+			if c.Proc >= n {
+				return nil, &ConfigError{Msg: fmt.Sprintf("crash names processor %d; the program runs on %d", c.Proc, n)}
+			}
+		}
+		for _, s := range cfg.Fault.Slowdowns {
+			if s.Proc >= n {
+				return nil, &ConfigError{Msg: fmt.Sprintf("slowdown names processor %d; the program runs on %d", s.Proc, n)}
+			}
+		}
+	}
+	if cfg.CheckpointInterval < 0 || math.IsNaN(cfg.CheckpointInterval) || math.IsInf(cfg.CheckpointInterval, 0) {
+		return nil, &ConfigError{Msg: fmt.Sprintf("CheckpointInterval must be finite and >= 0, got %v", cfg.CheckpointInterval)}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 
 	ex := &executor{
 		prog:    p,
 		cfg:     cfg,
-		ctx:     cctx,
-		cancel:  cancel,
 		n:       n,
-		mach:    machine.New(p.Grid(), cfg.Params),
-		wd:      newWatchdog(n),
+		depth:   depth,
 		reqDesc: map[int]string{},
+		chaos:   cfg.Fault.Active() || cfg.CheckpointInterval > 0,
 	}
 	for _, req := range p.Plan.Reqs {
 		ex.reqDesc[req.ID] = req.String()
@@ -225,21 +322,94 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 		ex.rec = trace.New(n, n, *cfg.Trace)
 		ex.rec.SetLabels(p.StmtLabels())
 	}
+	if ex.chaos {
+		ex.winj = fault.NewWallInjector(cfg.Fault)
+		if ex.winj != nil && cfg.testDelayUnit > 0 {
+			ex.winj.DelayUnit = cfg.testDelayUnit
+		}
+		ex.snaps = make([]workerSnap, n)
+		ex.prevSnaps = make([]workerSnap, n)
+	}
 	ex.start = time.Now()
+
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = DefaultMaxRestarts
+	}
+	if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+
+	// The attempt loop is the run-level heal path: a worker panic (a real
+	// one, or a scheduled fail-stop under HardCrashes) or a watchdog stall
+	// tears the whole worker set down; when a complete checkpoint
+	// generation exists, the run restores every worker from it and
+	// re-spawns with fresh transport. Coordinated (soft) crash recovery
+	// never reaches this loop — workers restore in-band.
+	var heal *healState
+	for {
+		res, err := ex.attempt(ctx, stall, heal)
+		if err == nil {
+			res.HardRestarts = ex.hardRestarts
+			return res, nil
+		}
+		if !ex.chaos || ex.hardRestarts >= maxRestarts || ctx.Err() != nil || !healable(err) {
+			return nil, err
+		}
+		h := ex.buildHeal(err)
+		if h == nil {
+			return nil, err
+		}
+		heal = h
+		ex.hardRestarts++
+	}
+}
+
+// attempt runs the worker set once: from program start when heal is nil,
+// else from the heal's checkpoint snapshots.
+func (ex *executor) attempt(ctx context.Context, stall time.Duration, heal *healState) (*Result, error) {
+	n := ex.n
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ex.ctx, ex.cancel = cctx, cancel
+	ex.wd = newWatchdog(n)
 	ex.mail = make([][]chan message, n)
 	for i := range ex.mail {
 		ex.mail[i] = make([]chan message, n)
 		for j := range ex.mail[i] {
-			ex.mail[i][j] = make(chan message, depth)
+			ex.mail[i][j] = make(chan message, ex.depth)
 		}
 	}
 	states := make([]*eval.State, n)
 	for i := range states {
-		st, err := eval.NewState(p)
+		st, err := eval.NewState(ex.prog)
 		if err != nil {
 			return nil, fmt.Errorf("exec: %w", err)
 		}
+		if heal != nil {
+			st.Restore(heal.snaps[i].state)
+		}
 		states[i] = st
+	}
+	workers := make([]*worker, n)
+	for i := range workers {
+		workers[i] = &worker{
+			ex:       ex,
+			proc:     i,
+			st:       states[i],
+			sendSeq:  make([]uint64, n),
+			recvSeq:  make([]uint64, n),
+			attrStmt: -1,
+		}
+	}
+	if ex.chaos {
+		ex.setupChaos(workers, heal)
+	} else {
+		ex.mach = machine.New(ex.prog.Grid(), ex.cfg.Params)
+		workers[0].mach = ex.mach
+	}
+	if ex.winj != nil {
+		ex.wire = newWireNet(ex, workers)
 	}
 
 	if stall > 0 {
@@ -259,20 +429,7 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 					cancel()
 				}
 			}()
-			w := &worker{
-				ex:       ex,
-				proc:     proc,
-				st:       states[proc],
-				sendSeq:  make([]uint64, n),
-				recvSeq:  make([]uint64, n),
-				attrStmt: -1,
-			}
-			err := eval.Walk(states[proc], w)
-			if err == nil {
-				// Drain any message batch left open by trailing statements.
-				err = w.flushBatch()
-			}
-			if err != nil {
+			if err := ex.runWorker(workers[proc]); err != nil {
 				errs[proc] = err
 				cancel()
 			}
@@ -280,6 +437,11 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	ex.wd.stop()
+	cancel()
+	if ex.wire != nil {
+		ex.wire.wg.Wait()
+		ex.wire = nil
+	}
 
 	if se := ex.wd.stallError(); se != nil {
 		return nil, se
@@ -293,6 +455,9 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	if err := checkConsistency(states); err != nil {
 		return nil, err
 	}
+	if err := ex.checkMachineAgreement(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Time:            ex.mach.Time(),
@@ -302,6 +467,12 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 		Workers:         n,
 		TrafficMessages: ex.traffic.Load(),
 		Trace:           ex.rec,
+
+		Restarts:          ex.softRestarts,
+		WireDrops:         ex.wireDrops.Load(),
+		WireRetransmits:   ex.wireRetrans.Load(),
+		WireDuplicates:    ex.wireDups.Load(),
+		WireDupSuppressed: ex.wireDupSupp.Load(),
 	}
 	for v, x := range states[0].Scalars() {
 		res.Scalars[v.Name] = x
@@ -310,6 +481,21 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 		res.Arrays[v.Name] = a
 	}
 	return res, nil
+}
+
+// runWorker drives one worker goroutine. Fault-free runs keep the original
+// single-walk fast path; chaos mode runs the tracked walk with coordinated
+// crash recovery around it (see chaos.go).
+func (ex *executor) runWorker(w *worker) error {
+	if !ex.chaos {
+		err := eval.Walk(w.st, w)
+		if err == nil {
+			// Drain any message batch left open by trailing statements.
+			err = w.flushBatch()
+		}
+		return err
+	}
+	return ex.runChaosWorker(w)
 }
 
 // pickError selects the run's verdict from the per-worker errors: the first
@@ -392,6 +578,36 @@ type worker struct {
 	// batch is the single in-flight per-instance message batch (see
 	// openBatch); count == 0 means no batch is open.
 	batch openBatch
+
+	// mach is this worker's cost-model replay machine. Fault-free runs give
+	// it to worker 0 only (the accountant); chaos mode gives every worker
+	// its own, so all replicated replays — including the seeded fault
+	// draws — can be cross-checked after the run.
+	mach *machine.Machine
+	// inj replays the simulator's seeded injector (chaos mode only):
+	// identical draw sequence, so modeled fault charges and crash points
+	// agree with sim by construction.
+	inj *fault.Injector
+	// lastCkpt is the replayed clock at the last checkpoint (or recovery).
+	lastCkpt float64
+	// sites counts crash-check sites since the last checkpoint; it is the
+	// replay-progress coordinate used to suppress re-execution side effects
+	// exactly up to the crash point.
+	sites int64
+	// replay is true while re-executing the interval [checkpoint, crash]
+	// after a coordinated restore: accounting, tracing, and checkpointing
+	// are suppressed; real communication still flows (with fresh sequence
+	// numbers, consistent across workers).
+	replay       bool
+	replayTarget int64
+	// gen numbers this worker's published checkpoint snapshots.
+	gen int64
+	// healCrash, when set by a run-level heal, names the crashed processor
+	// whose memory must be physically refetched at worker start.
+	healCrash *fault.Crash
+	// resume, when set by a run-level heal, is the checkpoint cursor the
+	// worker's walk restarts from.
+	resume *eval.Cursor
 }
 
 // setAttr stamps the attribution for the planned messages about to flow.
@@ -427,8 +643,14 @@ func (w *worker) emitN(k trace.Kind, peer int, bytes int64, req int, count int32
 // elemBytes is the payload size of one element message.
 func (w *worker) elemBytes() int64 { return int64(w.ex.cfg.Params.ElemBytes) }
 
-// accountant reports whether this worker replays the cost model.
-func (w *worker) accountant() bool { return w.proc == 0 }
+// charges reports whether this worker replays the cost model right now:
+// it owns a machine (worker 0 always; every worker in chaos mode) and is
+// not re-executing an already-accounted interval after a restore.
+func (w *worker) charges() bool { return w.mach != nil && !w.replay }
+
+// traces reports whether this worker emits trace events right now (replay
+// re-executes already-traced work, so emission is suppressed).
+func (w *worker) traces() bool { return w.ex.rec != nil && !w.replay }
 
 func (w *worker) desc(req *comm.Requirement) string { return w.ex.reqDesc[req.ID] }
 
@@ -438,6 +660,12 @@ func (w *worker) desc(req *comm.Requirement) string { return w.ex.reqDesc[req.ID
 func (w *worker) send(to int, m message, what string) error {
 	m.seq = w.sendSeq[to]
 	w.sendSeq[to]++
+	if w.ex.wire != nil && to != w.proc {
+		// Wire faults are live: route through the lossy link with its
+		// ack/retransmit protocol. Self-sends stay on the direct edge — no
+		// physical wire exists for them.
+		return w.sendWire(to, m, what)
+	}
 	ch := w.ex.mail[w.proc][to]
 	select {
 	case ch <- m:
@@ -454,7 +682,7 @@ func (w *worker) send(to int, m message, what string) error {
 	case ch <- m:
 		w.ex.traffic.Add(1)
 		w.ex.wd.tick()
-		if w.ex.rec != nil {
+		if w.traces() {
 			w.emit(trace.Wait, to, w.ex.wall()-blocked, 0, -1)
 		}
 		w.traceSend(to, m)
@@ -469,7 +697,7 @@ func (w *worker) send(to int, m message, what string) error {
 // so it is excluded — keeping Send/Recv counts structurally identical to the
 // simulator's trace.
 func (w *worker) traceSend(to int, m message) {
-	if w.ex.rec == nil || m.req < 0 || w.mute {
+	if !w.traces() || m.req < 0 || w.mute {
 		return
 	}
 	n := m.count
@@ -492,7 +720,7 @@ func (w *worker) recv(from, wantReq int, what string) (message, error) {
 		select {
 		case m = <-ch:
 			w.ex.wd.unblock(h)
-			if w.ex.rec != nil {
+			if w.traces() {
 				w.emit(trace.Wait, from, w.ex.wall()-blocked, 0, -1)
 			}
 		case <-w.ex.ctx.Done():
@@ -507,7 +735,7 @@ func (w *worker) recv(from, wantReq int, what string) (message, error) {
 		return message{}, &ProtocolError{Proc: w.proc, From: from,
 			WantReq: wantReq, GotReq: m.req, WantSeq: wantSeq, GotSeq: m.seq, What: what}
 	}
-	if w.ex.rec != nil && m.req >= 0 && !w.mute {
+	if w.traces() && m.req >= 0 && !w.mute {
 		n := m.count
 		if n <= 0 {
 			n = 1
@@ -521,7 +749,8 @@ func (w *worker) recv(from, wantReq int, what string) (message, error) {
 // eval.Backend
 
 // Tick fires after every loop iteration: progress for the watchdog plus
-// cancellation/deadline enforcement.
+// cancellation/deadline enforcement (and, in chaos mode, a crash-check site
+// mirroring the simulator's per-iteration checkTime).
 func (w *worker) Tick() error {
 	w.ex.wd.tick()
 	if h := w.ex.cfg.testHook; h != nil {
@@ -529,38 +758,59 @@ func (w *worker) Tick() error {
 			return err
 		}
 	}
+	if w.ex.chaos {
+		if err := w.crashCheck(); err != nil {
+			return err
+		}
+	}
 	return w.ex.ctx.Err()
 }
 
 // LoopEntry performs the vectorized communications hoisted to this loop.
+// In chaos mode it is also the coordinated checkpoint boundary — the same
+// loop-entry sites the simulator checkpoints at — and each hoisted
+// communication is followed by a crash-check site mirroring the simulator's.
 func (w *worker) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 	// Any open batch flushes before other planned traffic so the per-edge
 	// message order stays identical on every worker.
 	if err := w.flushBatch(); err != nil {
 		return err
 	}
+	if w.ex.chaos && (len(lp.Hoisted) > 0 || l.Parent == nil) {
+		if err := w.maybeCheckpoint(); err != nil {
+			return err
+		}
+	}
 	for _, req := range lp.Hoisted {
 		op, err := w.st.VectorizedOp(req, w.elemBytes())
 		if err != nil {
 			return err
 		}
-		if w.accountant() {
+		if w.charges() {
 			switch op.Kind {
 			case eval.VecShift:
-				w.ex.mach.Shift(op.Participants, op.PerProc)
+				w.mach.Shift(op.Participants, op.PerProc)
 			case eval.VecBcast:
-				w.ex.mach.Multicast(op.From, op.Dst, op.Bytes)
+				w.mach.Multicast(op.From, op.Dst, op.Bytes)
 			case eval.VecExchange:
-				w.ex.mach.Exchange(op.Src, op.Dst, op.Bytes)
+				w.mach.Exchange(op.Src, op.Dst, op.Bytes)
 			}
 		}
-		if w.ex.rec != nil {
+		if w.traces() {
 			w.stampVectorized(req, op)
 		}
 		err = w.vectorizedComm(req, op)
 		w.clearAttr()
 		if err != nil {
 			return err
+		}
+		// Skipped requirements are not a crash-check site: the simulator
+		// returns before its checkTime for VecSkip, so checking here would
+		// detect a pending crash one op earlier than the reference.
+		if w.ex.chaos && op.Kind != eval.VecSkip {
+			if err := w.crashCheck(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -680,14 +930,14 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 	}
 	for _, m := range lp.Combines {
 		set := w.st.PatternSet(m.Pattern, nil)
-		if w.accountant() {
-			w.ex.mach.Reduce(set, w.elemBytes())
+		if w.charges() {
+			w.mach.Reduce(set, w.elemBytes())
 		}
 		procs := set.Procs()
 		if len(procs) < 2 || !set.Contains(w.proc) {
 			continue
 		}
-		if w.ex.rec != nil && m.Def != nil && m.Def.Stmt != nil {
+		if w.traces() && m.Def != nil && m.Def.Stmt != nil {
 			w.setAttr(m.Def.Stmt.ID, dist.CommNone, 0)
 		}
 		what := "combine " + m.Def.Var.Name
@@ -709,7 +959,7 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 					return err
 				}
 			}
-			if w.ex.rec != nil {
+			if w.traces() {
 				// One Reduce event per collective at the gathering root —
 				// structurally identical to the simulator's emission.
 				w.emit(trace.Reduce, -1, 0, w.elemBytes()*int64(len(procs)), -1)
@@ -733,31 +983,38 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 }
 
 // Statement performs per-instance communication for one statement instance
-// (and, on the accountant, replays the guard, message, and compute charges).
+// (and, on charging workers, replays the guard, message, and compute
+// charges). In chaos mode every non-skipped per-instance communication is a
+// crash-check site, mirroring the simulator's statement walk.
 func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 	for _, req := range sp.PerInstance {
 		op, err := w.st.InstanceOp(req, sp, w.elemBytes())
 		if err != nil {
 			return err
 		}
-		if w.accountant() && w.ex.cfg.Params.GuardTime > 0 {
-			w.ex.mach.Compute(dist.AllProcs(w.st.Grid()), w.ex.cfg.Params.GuardTime)
+		if w.charges() && w.ex.cfg.Params.GuardTime > 0 {
+			w.mach.Compute(dist.AllProcs(w.st.Grid()), w.ex.cfg.Params.GuardTime)
 		}
 		if op.Skip {
 			continue
 		}
-		if w.accountant() {
-			// The accountant replays the cost model per instance — batching
-			// is a property of the physical transport only — so Stats and
+		if w.charges() {
+			// The replay charges the cost model per instance — batching is a
+			// property of the physical transport only — so Stats and
 			// simulated time stay identical to the sequential simulator's.
 			if to, one := op.Dst.IsSingle(); one {
-				w.ex.mach.Send(op.From, to, op.Bytes)
+				w.mach.Send(op.From, to, op.Bytes)
 			} else {
-				w.ex.mach.Multicast(op.From, op.Dst, op.Bytes)
+				w.mach.Multicast(op.From, op.Dst, op.Bytes)
 			}
 		}
 		if err := w.batchInstance(req, st, op); err != nil {
 			return err
+		}
+		if w.ex.chaos {
+			if err := w.crashCheck(); err != nil {
+				return err
+			}
 		}
 	}
 	execSet, err := w.st.ExecSet(sp)
@@ -765,10 +1022,10 @@ func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 		return err
 	}
 	if sp.Flops > 0 {
-		if w.accountant() {
-			w.ex.mach.Compute(execSet, float64(sp.Flops)*w.ex.cfg.Params.FlopTime)
+		if w.charges() {
+			w.mach.Compute(execSet, float64(sp.Flops)*w.ex.cfg.Params.FlopTime)
 		}
-		if w.ex.rec != nil && execSet.Contains(w.proc) {
+		if w.traces() && execSet.Contains(w.proc) {
 			// The slice duration is the cost model's charge — the useful,
 			// noise-free per-statement attribution for the timeline view.
 			w.setAttr(st.ID, dist.CommNone, 0)
@@ -928,35 +1185,48 @@ func (w *worker) flushBatch() error {
 
 // Redistribute performs the barrier an executable redistribution implies
 // (the mapping update has already been applied to every worker's state) and
-// replays its all-to-all charge.
+// replays its all-to-all charge. In chaos mode the end of the barrier is a
+// crash-check site, mirroring the simulator's redistribution walk.
 func (w *worker) Redistribute(st *ir.Stmt) error {
 	if err := w.flushBatch(); err != nil {
 		return err
 	}
-	if w.accountant() {
+	if w.charges() {
 		per := w.st.RedistBytesPerProc(st, w.elemBytes())
-		w.ex.mach.AllToAll(dist.AllProcs(w.st.Grid()), per)
+		w.mach.AllToAll(dist.AllProcs(w.st.Grid()), per)
 	}
+	if err := w.starBarrier(tagBarrier, tagRelease, "redistribute "+st.Redist.Array.Name); err != nil {
+		return err
+	}
+	if w.ex.chaos {
+		return w.crashCheck()
+	}
+	return nil
+}
+
+// starBarrier synchronizes all workers through processor 0: members send
+// tagIn and wait for tagOut, the coordinator collects every tagIn before
+// releasing anyone. Used by redistribution and by coordinated checkpoints.
+func (w *worker) starBarrier(tagIn, tagOut int, what string) error {
 	if w.ex.n < 2 {
 		return nil
 	}
-	what := "redistribute " + st.Redist.Array.Name
 	if w.proc == 0 {
 		for p := 1; p < w.ex.n; p++ {
-			if _, err := w.recv(p, tagBarrier, what); err != nil {
+			if _, err := w.recv(p, tagIn, what); err != nil {
 				return err
 			}
 		}
 		for p := 1; p < w.ex.n; p++ {
-			if err := w.send(p, message{req: tagRelease}, what); err != nil {
+			if err := w.send(p, message{req: tagOut}, what); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := w.send(0, message{req: tagBarrier}, what); err != nil {
+	if err := w.send(0, message{req: tagIn}, what); err != nil {
 		return err
 	}
-	_, err := w.recv(0, tagRelease, what)
+	_, err := w.recv(0, tagOut, what)
 	return err
 }

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCrashes hammers the crash-schedule parser with arbitrary input.
+// The contract: never panic, and on success every parsed entry round-trips
+// through Plan.Validate without tripping an internal inconsistency (invalid
+// values are allowed — Validate rejects them with an error, not a panic).
+// Seeds mirror the syntax phpfrun's -crash flag accepts.
+func FuzzParseCrashes(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"3@0.5",
+		"3@0.5,7@1.2",
+		"0@0",
+		" 1@2 , 2@3 ",
+		"1@1e-3",
+		"1@",
+		"@1",
+		"x@y",
+		"1@2@3",
+		"-1@0.5",
+		"1@-2",
+		"1@NaN",
+		"1@Inf",
+		strings.Repeat("1@1,", 64) + "1@1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		crashes, err := ParseCrashes(spec)
+		if err != nil {
+			if crashes != nil {
+				t.Fatalf("ParseCrashes(%q) returned entries alongside error %v", spec, err)
+			}
+			return
+		}
+		p := &Plan{Crashes: crashes}
+		_ = p.Validate() // must not panic; errors are fine
+		if p.Active() != (len(crashes) > 0) {
+			t.Fatalf("ParseCrashes(%q): Active()=%v with %d crashes", spec, p.Active(), len(crashes))
+		}
+	})
+}
+
+// FuzzParseSlowdowns is the same contract for the slowdown-schedule parser
+// behind phpfrun's -slowdown flag.
+func FuzzParseSlowdowns(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"2:1.5",
+		"2:1.5:0.1:0.4,5:2",
+		"0:1",
+		" 1:2 : 3 ",
+		"1:1e3:0:0",
+		"1",
+		"1:",
+		":2",
+		"1:2:3:4:5",
+		"-1:2",
+		"1:-2",
+		"1:NaN",
+		"1:Inf:0:0",
+		strings.Repeat("1:2,", 64) + "1:2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		slow, err := ParseSlowdowns(spec)
+		if err != nil {
+			if slow != nil {
+				t.Fatalf("ParseSlowdowns(%q) returned entries alongside error %v", spec, err)
+			}
+			return
+		}
+		p := &Plan{Slowdowns: slow}
+		_ = p.Validate() // must not panic; errors are fine
+		if p.Active() != (len(slow) > 0) {
+			t.Fatalf("ParseSlowdowns(%q): Active()=%v with %d slowdowns", spec, p.Active(), len(slow))
+		}
+	})
+}

@@ -120,6 +120,16 @@ type Machine struct {
 	// simulated time and the attribution set via SetAttr. Nil keeps the
 	// cost paths allocation- and emission-free.
 	Rec *trace.Recorder
+	// FaultEventsOnly restricts emission to Checkpoint/Restart/Fault
+	// events. The concurrent backend replays the cost model on a machine
+	// per worker but its workers emit Compute/Send/Recv themselves from
+	// real activity; worker 0's replay machine contributes only the
+	// fault-protocol events so nothing is double-counted.
+	FaultEventsOnly bool
+	// Now, when non-nil, overrides the timestamp of emitted events (the
+	// concurrent backend stamps its fault events with the run's wall
+	// clock while the charges themselves stay in simulated time).
+	Now func() float64
 
 	// Attribution for subsequent charges (see SetAttr).
 	attrStmt  int32
@@ -146,10 +156,35 @@ func (m *Machine) ClearAttr() { m.SetAttr(-1, -1, dist.CommNone) }
 // emit records one event with the current attribution (callers guard on
 // m.Rec != nil so the disabled path stays a single branch).
 func (m *Machine) emit(k trace.Kind, proc, peer int, t, dur float64, bytes int64) {
+	if m.FaultEventsOnly && k != trace.Checkpoint && k != trace.Restart && k != trace.Fault {
+		return
+	}
+	if m.Now != nil {
+		t = m.Now()
+	}
 	m.Rec.Emit(0, trace.Event{
 		Time: t, Dur: dur, Bytes: bytes, Kind: k, Class: m.attrClass,
 		Proc: int32(proc), Peer: int32(peer), Stmt: m.attrStmt, Req: m.attrReq,
 	})
+}
+
+// State is an opaque copy of a machine's mutable accounting (clocks and
+// statistics), captured at a checkpoint and restored on recovery so a
+// healed run's final cost model does not double-charge the lost interval.
+type State struct {
+	clock []float64
+	stats Stats
+}
+
+// SaveState captures the machine's accounting state.
+func (m *Machine) SaveState() State {
+	return State{clock: append([]float64(nil), m.Clock...), stats: m.Stats}
+}
+
+// RestoreState overwrites the machine's accounting from a saved state.
+func (m *Machine) RestoreState(s State) {
+	copy(m.Clock, s.clock)
+	m.Stats = s.stats
 }
 
 // NProcs returns the processor count.

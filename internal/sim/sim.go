@@ -418,35 +418,8 @@ func (in *interp) maybeCheckpoint() {
 		return
 	}
 	in.mach.ClearAttr()
-	in.mach.Checkpoint(in.checkpointBytes())
+	in.mach.Checkpoint(eval.CheckpointBytes(in.st, int64(in.cfg.Params.ElemBytes)))
 	in.lastCkpt = in.mach.Time()
-}
-
-// checkpointBytes returns each processor's live state size: its partition of
-// every (dynamically mapped) array plus one element per scalar variable.
-func (in *interp) checkpointBytes() []int64 {
-	g := in.st.Grid()
-	eb := int64(in.cfg.Params.ElemBytes)
-	out := make([]int64, g.Size())
-	var scalarBytes int64
-	for _, v := range in.prog.Res.Prog.VarList {
-		if v.IsArray() || v.IsLoopIndex {
-			continue
-		}
-		scalarBytes += eb
-	}
-	for p := range out {
-		coords := g.Coords(p)
-		b := scalarBytes
-		for _, am := range in.st.Dyn() {
-			if am == nil {
-				continue
-			}
-			b += am.LocalElems(g, coords) * eb
-		}
-		out[p] = b
-	}
-	return out
 }
 
 // recoverCrash restores a fail-stop processor from the last coordinated
@@ -462,39 +435,8 @@ func (in *interp) recoverCrash(c *fault.Crash) {
 	if lost < 0 {
 		lost = 0
 	}
-	bytes, msgs := in.refetchCost(c.Proc)
+	bytes, msgs := eval.RefetchCost(in.st, c.Proc, int64(in.cfg.Params.ElemBytes))
 	in.mach.Recover(c.Proc, lost, bytes, msgs)
 	// Recovery reestablishes a consistent global state.
 	in.lastCkpt = in.mach.Time()
-}
-
-// refetchCost sizes the recovery communication for a restarted processor:
-// non-replicated array partitions under the current dynamic mapping, plus
-// one element per scalar variable classified RecoverRefetch by the SPMD
-// plan (aligned and reduction-mapped privatized scalars).
-func (in *interp) refetchCost(p int) (bytes, msgs int64) {
-	g := in.st.Grid()
-	coords := g.Coords(p)
-	eb := int64(in.cfg.Params.ElemBytes)
-	for _, v := range in.prog.Res.Prog.VarList {
-		if !v.IsArray() {
-			continue
-		}
-		am := in.st.DynMap(v)
-		if am == nil || am.FullyReplicated() {
-			continue // replicated: every survivor holds a copy
-		}
-		if n := am.LocalElems(g, coords); n > 0 {
-			bytes += n * eb
-			msgs++
-		}
-	}
-	for v, cls := range in.prog.Recovery {
-		if v.IsArray() || cls != spmd.RecoverRefetch {
-			continue
-		}
-		bytes += eb
-		msgs++
-	}
-	return bytes, msgs
 }

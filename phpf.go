@@ -18,6 +18,7 @@ package phpf
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -188,10 +189,16 @@ type RunOptions struct {
 	// (Report.HotStatements). Simulator only.
 	Profile bool
 	// Fault, when non-nil and active, injects deterministic faults
-	// (message loss/duplication, slowdowns, crashes). Simulator only.
+	// (message loss/duplication, slowdowns, crashes). Both backends take
+	// the same seeded plan: the simulator charges modeled costs, the
+	// concurrent executor additionally makes message faults physical —
+	// real dropped/duplicated/delayed transmissions healed by seeded
+	// retransmission — while replaying the identical modeled accounting.
 	Fault *FaultPlan
 	// CheckpointInterval enables coordinated checkpointing every so many
-	// simulated seconds (0 = off). Simulator only.
+	// simulated seconds (0 = off). Both backends checkpoint at the same
+	// hoisted-communication boundaries; the concurrent executor takes real
+	// barrier-aligned snapshots it can restart from after a crash.
 	CheckpointInterval float64
 
 	// Workers is the concurrent backend's worker count (0 = the program's
@@ -204,6 +211,14 @@ type RunOptions struct {
 	// StallTimeout is the concurrent backend's watchdog quiet period
 	// (0 = default, negative = disabled). Concurrent only.
 	StallTimeout time.Duration
+	// MaxRestarts bounds the concurrent backend's run-level heals after a
+	// worker death or stall (0 = default, negative = disabled). Concurrent
+	// only.
+	MaxRestarts int
+	// HardCrashes makes scheduled fail-stop crashes kill worker goroutines
+	// for real (recovery then goes through the run-level heal) instead of
+	// the default coordinated restore. Concurrent only.
+	HardCrashes bool
 
 	// Trace, when non-nil, records runtime events into Report.Trace: the
 	// simulator stamps simulated time, the concurrent executor wall time.
@@ -239,6 +254,18 @@ type Report struct {
 	// TrafficMessages counts real channel messages exchanged (concurrent
 	// backend; 0 from the simulator).
 	TrafficMessages int64
+	// Restarts counts the concurrent backend's coordinated checkpoint
+	// restores; HardRestarts its run-level heals (both 0 from the
+	// simulator, whose recovery is purely modeled).
+	Restarts     int64
+	HardRestarts int
+	// Wire-layer fault activity of the concurrent backend: real
+	// transmissions dropped, retransmitted after timeout, duplicated, and
+	// duplicate-suppressed at the receiver (all 0 from the simulator).
+	WireDrops         int64
+	WireRetransmits   int64
+	WireDuplicates    int64
+	WireDupSuppressed int64
 
 	// Trace is the recorded event stream when RunOptions.Trace was set
 	// (nil otherwise).
@@ -294,8 +321,8 @@ type simulatorBackend struct{}
 func (simulatorBackend) Name() string { return "sim" }
 
 func (simulatorBackend) Run(ctx context.Context, p *spmd.Program, opts RunOptions) (*Report, error) {
-	if opts.Workers != 0 || opts.MailboxDepth != 0 || opts.StallTimeout != 0 {
-		return nil, configErr("sim", "Workers/MailboxDepth/StallTimeout configure the concurrent backend; the simulator takes none")
+	if opts.Workers != 0 || opts.MailboxDepth != 0 || opts.StallTimeout != 0 || opts.MaxRestarts != 0 || opts.HardCrashes {
+		return nil, configErr("sim", "Workers/MailboxDepth/StallTimeout/MaxRestarts/HardCrashes configure the concurrent backend; the simulator takes none")
 	}
 	res, err := sim.RunContext(ctx, p, sim.Config{
 		Params:             opts.Params,
@@ -326,47 +353,52 @@ func (concurrentBackend) Name() string { return "concurrent" }
 
 func (concurrentBackend) Run(ctx context.Context, p *spmd.Program, opts RunOptions) (*Report, error) {
 	switch {
-	case opts.Fault.Active():
-		return nil, configErr("exec", "fault injection is simulator-only; the concurrent backend runs fault-free")
-	case opts.CheckpointInterval > 0:
-		return nil, configErr("exec", "checkpointing is simulator-only; the concurrent backend takes none")
 	case opts.MaxSeconds > 0:
 		return nil, configErr("exec", "MaxSeconds bounds simulated time; bound the concurrent backend with a context deadline")
 	case opts.Profile:
 		return nil, configErr("exec", "per-statement profiling is simulator-only; trace the run instead (RunOptions.Trace)")
 	}
 	res, err := exec.Run(ctx, p, exec.Config{
-		Params:       opts.Params,
-		Workers:      opts.Workers,
-		MailboxDepth: opts.MailboxDepth,
-		StallTimeout: opts.StallTimeout,
-		Trace:        opts.Trace,
+		Params:             opts.Params,
+		Workers:            opts.Workers,
+		MailboxDepth:       opts.MailboxDepth,
+		StallTimeout:       opts.StallTimeout,
+		Trace:              opts.Trace,
+		Fault:              opts.Fault,
+		CheckpointInterval: opts.CheckpointInterval,
+		MaxRestarts:        opts.MaxRestarts,
+		HardCrashes:        opts.HardCrashes,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Report{
-		Backend:         "concurrent",
-		Time:            res.Time,
-		Stats:           res.Stats,
-		Scalars:         res.Scalars,
-		Arrays:          res.Arrays,
-		Workers:         res.Workers,
-		TrafficMessages: res.TrafficMessages,
-		Trace:           res.Trace,
+		Backend:           "concurrent",
+		Time:              res.Time,
+		Stats:             res.Stats,
+		Scalars:           res.Scalars,
+		Arrays:            res.Arrays,
+		Workers:           res.Workers,
+		TrafficMessages:   res.TrafficMessages,
+		Trace:             res.Trace,
+		Restarts:          res.Restarts,
+		HardRestarts:      res.HardRestarts,
+		WireDrops:         res.WireDrops,
+		WireRetransmits:   res.WireRetransmits,
+		WireDuplicates:    res.WireDuplicates,
+		WireDupSuppressed: res.WireDupSuppressed,
 	}, nil
 }
 
-// Diff runs the program through both backends — optionally traced — and
-// compares numeric results, communication statistics, and (when traced)
-// per-class event counts bit-for-bit. opts must be fault-free with
-// checkpointing off; violations return a coded E005 diagnostic.
+// Diff runs the program through both backends — optionally traced, and
+// optionally under the same seeded fault plan and checkpoint interval — and
+// compares numeric results, communication statistics (including the fault
+// and recovery counters), and (when traced) per-class event counts
+// bit-for-bit. HardCrashes cannot be compared; it returns a coded E005
+// diagnostic.
 func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, error) {
-	if opts.Fault.Active() {
-		return nil, configErr("differ", "the differential oracle requires a fault-free configuration (Fault is simulator-only and perturbs the comparison)")
-	}
-	if opts.CheckpointInterval > 0 {
-		return nil, configErr("differ", "the differential oracle requires checkpointing off (the concurrent backend takes none)")
+	if opts.HardCrashes {
+		return nil, configErr("differ", "the differential oracle cannot compare HardCrashes runs (run-level heals re-execute intervals the simulator models once)")
 	}
 	d := exec.Differ{
 		Sim: sim.Config{
@@ -379,10 +411,21 @@ func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, erro
 			Workers:      opts.Workers,
 			MailboxDepth: opts.MailboxDepth,
 			StallTimeout: opts.StallTimeout,
+			MaxRestarts:  opts.MaxRestarts,
 		},
-		Trace: opts.Trace,
+		Trace:              opts.Trace,
+		Fault:              opts.Fault,
+		CheckpointInterval: opts.CheckpointInterval,
 	}
-	return d.Run(ctx, c.SPMD)
+	rep, err := d.Run(ctx, c.SPMD)
+	if err != nil {
+		var ce *exec.ConfigError
+		if errors.As(err, &ce) {
+			return nil, configErr("differ", "%s", ce.Msg)
+		}
+		return nil, err
+	}
+	return rep, nil
 }
 
 // ---------------------------------------------------------------------------

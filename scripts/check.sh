@@ -16,6 +16,19 @@ go test -race ./...
 fuzztime="${FUZZTIME:-10s}"
 go test -run=^$ -fuzz=FuzzLex -fuzztime="$fuzztime" ./internal/lexer
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
+go test -run=^$ -fuzz=FuzzParseCrashes -fuzztime="$fuzztime" ./internal/fault
+go test -run=^$ -fuzz=FuzzParseSlowdowns -fuzztime="$fuzztime" ./internal/fault
+
+# Chaos gate: every seeded fault plan (loss, duplication, slowdown,
+# checkpointing, mid-loop fail-stop healed by checkpoint/restart, and the
+# mix) physically injected into the concurrent executor under -race must
+# agree bitwise with the simulator under the identical plan — results,
+# fault-accounting statistics, and per-class trace event counts.
+# CHAOS_SKIP=1 skips the gate (the matrix runs real retransmission timers,
+# so it needs a few wall-clock seconds).
+if [ "${CHAOS_SKIP:-0}" != "1" ]; then
+    go test -race -run '^TestChaosMatrix$' -count=1 ./internal/exec
+fi
 
 # Golden gate: the -dump-after snapshots of the paper figures AND the
 # simulator's rendered runtime trace of figure1 (testdata/traces/) must

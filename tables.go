@@ -343,6 +343,137 @@ func DiffSweep(ctx context.Context, progs []DiffProgram, procs []int) ([]DiffSwe
 }
 
 // ---------------------------------------------------------------------------
+// Chaos sweep — both backends under the same seeded physical faults.
+
+// ChaosPlan names one seeded fault scenario for the chaos sweep. Crash times
+// and the checkpoint interval are given as fractions of the program's clean
+// simulated time, so the same plan places a mid-loop crash sensibly across
+// benchmarks of very different scales.
+type ChaosPlan struct {
+	Name     string
+	Seed     int64
+	LossRate float64
+	DupRate  float64
+	// CrashProc fail-stops at CrashFrac of the clean simulated time when
+	// CrashFrac > 0.
+	CrashProc int
+	CrashFrac float64
+	// CheckpointFrac > 0 checkpoints every so many clean-time fractions.
+	CheckpointFrac float64
+}
+
+// DefaultChaosPlans is the seeded scenario matrix the chaos sweep (and the
+// CI chaos gate) runs: message loss, duplication, coordinated checkpointing,
+// a mid-loop fail-stop recovered from checkpoint, and all of it combined.
+func DefaultChaosPlans() []ChaosPlan {
+	return []ChaosPlan{
+		{Name: "loss", Seed: 7, LossRate: 0.05},
+		{Name: "dup", Seed: 3, DupRate: 0.05},
+		{Name: "checkpoint", CheckpointFrac: 0.2},
+		{Name: "crash", Seed: 5, CrashProc: 1, CrashFrac: 0.4, CheckpointFrac: 0.2},
+		{Name: "mixed", Seed: 11, LossRate: 0.02, DupRate: 0.02, CrashProc: 2, CrashFrac: 0.6, CheckpointFrac: 0.2},
+	}
+}
+
+// ChaosSweepRow is one program under one seeded fault plan, executed by both
+// backends through the differential oracle.
+type ChaosSweepRow struct {
+	Program string
+	Plan    string
+	Procs   int
+	// CleanSeconds is the fault-free simulated time; Seconds the simulated
+	// time under the plan (both backends agreed on it when Match is true).
+	CleanSeconds float64
+	Seconds      float64
+	// Overhead is Seconds/CleanSeconds - 1: the modeled cost of the faults
+	// plus the recovery protocol.
+	Overhead float64
+	// Restarts counts coordinated checkpoint restorations; the Wire fields
+	// count the physical faults the concurrent backend actually injected.
+	Restarts        int64
+	Checkpoints     int64
+	WireDrops       int64
+	WireDuplicates  int64
+	WireRetransmits int64
+	// Mismatches is empty when the backends agreed bit-for-bit.
+	Mismatches []string
+}
+
+// Match reports whether the backends agreed.
+func (r ChaosSweepRow) Match() bool { return len(r.Mismatches) == 0 }
+
+// ChaosSweep measures every program under every chaos plan: a clean
+// simulator run fixes the time scale, then the differential oracle executes
+// the seeded plan on both backends — real dropped transmissions,
+// retransmit/backoff, and checkpoint/restart on the concurrent side — and
+// demands bitwise agreement on results, statistics, and fault-event counts.
+func ChaosSweep(ctx context.Context, progs []DiffProgram, nprocs int, plans []ChaosPlan) ([]ChaosSweepRow, error) {
+	var rows []ChaosSweepRow
+	for _, p := range progs {
+		c, err := Compile(p.Source, nprocs, SelectedOptions())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		clean, err := c.Execute(ctx, Simulator(), RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: clean run: %w", p.Name, err)
+		}
+		for _, plan := range plans {
+			opts := RunOptions{CheckpointInterval: plan.CheckpointFrac * clean.Time}
+			fp := &FaultPlan{Seed: plan.Seed, LossRate: plan.LossRate, DupRate: plan.DupRate}
+			if plan.CrashFrac > 0 {
+				fp.Crashes = []Crash{{Proc: plan.CrashProc, At: plan.CrashFrac * clean.Time}}
+			}
+			if fp.Active() {
+				opts.Fault = fp
+			}
+			rep, err := c.Diff(ctx, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.Name, plan.Name, err)
+			}
+			rows = append(rows, ChaosSweepRow{
+				Program:         p.Name,
+				Plan:            plan.Name,
+				Procs:           nprocs,
+				CleanSeconds:    clean.Time,
+				Seconds:         rep.Sim.Time,
+				Overhead:        rep.Sim.Time/clean.Time - 1,
+				Restarts:        rep.Exec.Restarts,
+				Checkpoints:     rep.Sim.Stats.Checkpoints,
+				WireDrops:       rep.Exec.WireDrops,
+				WireDuplicates:  rep.Exec.WireDuplicates,
+				WireRetransmits: rep.Exec.WireRetransmits,
+				Mismatches:      rep.Mismatches,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatChaosSweep renders the chaos sweep: per program and plan, the
+// modeled recovery overhead next to the physical fault activity, with the
+// oracle's verdict on each row.
+func FormatChaosSweep(rows []ChaosSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Chaos sweep — seeded faults on both backends (oracle-checked)\n")
+	fmt.Fprintf(&b, "%-24s %-11s %10s %10s %9s %8s %6s %6s %7s  verdict\n",
+		"program", "plan", "clean(s)", "faulted(s)", "overhead", "restarts", "ckpts", "drops", "retrans")
+	for _, r := range rows {
+		verdict := "match"
+		if !r.Match() {
+			verdict = fmt.Sprintf("MISMATCH (%d)", len(r.Mismatches))
+		}
+		fmt.Fprintf(&b, "%-24s %-11s %10.6f %10.6f %8.1f%% %8d %6d %6d %7d  %s\n",
+			r.Program, r.Plan, r.CleanSeconds, r.Seconds, 100*r.Overhead,
+			r.Restarts, r.Checkpoints, r.WireDrops, r.WireRetransmits, verdict)
+		for _, m := range r.Mismatches {
+			fmt.Fprintf(&b, "    %s\n", m)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
 // Trace sweep — the communication matrix of every sweep point.
 
 // TracePoint is one traced sweep point: a program compiled under one mapping
