@@ -1,0 +1,139 @@
+// Command phpfserve is the hardened multi-tenant compile-and-execute
+// service: the paper's privatization pipeline behind an HTTP API with
+// admission control, load shedding, and graceful degradation.
+//
+// Usage:
+//
+//	phpfserve -addr :8080
+//	phpfserve -addr :8080 -max-concurrent 32 -per-tenant 8 -queue-depth 64
+//	phpfserve -addr :8080 -chaos            # allow fault-injected requests
+//
+// Endpoints:
+//
+//	POST /v1/compile  {"source"|"figure", "procs", "opt"}
+//	POST /v1/run      + {"backend", "timeout_ms", "max_cells", "chaos"}
+//	POST /v1/diff     both backends, differential-oracle verdict
+//	GET  /healthz     liveness + metrics snapshot
+//	GET  /readyz      503 once draining
+//
+// Shutdown: the first SIGTERM/SIGINT starts a graceful drain — the listener
+// stops accepting, /readyz flips to 503, in-flight requests finish or are
+// deadline-cancelled at -grace, and the final metrics snapshot is flushed
+// to the log. A second signal forces immediate exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"phpf/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+	maxProcs := flag.Int("max-procs", 64, "per-request processor-count cap")
+	maxSource := flag.Int64("max-source-bytes", 1<<20, "program text size cap")
+	cacheSize := flag.Int("cache-size", serve.DefaultCacheSize, "compiled-program LRU capacity")
+	maxConcurrent := flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "global concurrent execution slots")
+	perTenant := flag.Int("per-tenant", serve.DefaultPerTenant, "concurrent execution slots per tenant")
+	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "per-tenant waiting line beyond the slots; full = shed with 429")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request execution deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	maxCells := flag.Int64("max-cells", 1<<22, "per-memory-image array cell budget (0 = unlimited; breach = coded 422, not an OOM)")
+	chaos := flag.Bool("chaos", false, "allow requests to route through the fault-injection layer (self-testing)")
+	grace := flag.Duration("grace", 20*time.Second, "drain grace: in-flight requests get this long before deadline-cancel")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "phpfserve: ", log.LstdFlags|log.Lmicroseconds)
+	srv := serve.New(serve.Config{
+		MaxProcs:       *maxProcs,
+		MaxSourceBytes: *maxSource,
+		CacheSize:      *cacheSize,
+		MaxConcurrent:  *maxConcurrent,
+		PerTenant:      *perTenant,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxCells:       *maxCells,
+		Chaos:          *chaos,
+		Logf:           logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Slow clients cannot hold a connection forever: the body read is
+		// bounded too, and handler work by the execution deadline.
+		ReadTimeout: 30 * time.Second,
+		IdleTimeout: 120 * time.Second,
+	}
+	// The resolved address on stdout lets scripts bind :0 and discover the
+	// port (the serve smoke does exactly that).
+	fmt.Printf("phpfserve listening on %s\n", ln.Addr())
+	logger.Printf("listening on %s (chaos=%v, max-cells=%d, cache=%d)", ln.Addr(), *chaos, *maxCells, *cacheSize)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	case sig := <-sigCh:
+		logger.Printf("%v: draining (grace %v; send the signal again to force exit)", sig, *grace)
+	}
+
+	// Second signal anywhere past this point forces exit.
+	go func() {
+		sig := <-sigCh
+		logger.Printf("%v: forcing exit", sig)
+		srv.CancelInflight()
+		_ = httpSrv.Close()
+		flushMetrics(logger, srv)
+		os.Exit(1)
+	}()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop accepting and flip readiness first, then wait out in-flight
+	// work; Drain deadline-cancels whatever outlives the grace period.
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- httpSrv.Shutdown(drainCtx) }()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: deadline-cancelled in-flight requests: %v", err)
+	} else {
+		logger.Printf("drain: all in-flight requests completed")
+	}
+	if err := <-shutdownErr; err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	_ = httpSrv.Close()
+	flushMetrics(logger, srv)
+}
+
+// flushMetrics writes the final snapshot to the log — the graceful-drain
+// contract includes not losing the run's counters.
+func flushMetrics(logger *log.Logger, srv *serve.Server) {
+	snap, err := json.Marshal(srv.Snapshot())
+	if err != nil {
+		logger.Printf("metrics flush failed: %v", err)
+		return
+	}
+	logger.Printf("final metrics: %s", snap)
+}

@@ -18,6 +18,13 @@ const (
 	// CodeConfig: a run configuration is invalid for the requested backend
 	// or mode (e.g. fault injection handed to the differential oracle).
 	CodeConfig = "E005"
+	// CodeBudget: a run exceeded an explicit resource budget (MaxCells on
+	// the interpreter's memory image). The breach is the requester's fault,
+	// not the process's — servers map it to a client error, never an OOM.
+	CodeBudget = "E006"
+	// CodePanic: an execution panicked and was contained (the serving
+	// layer's per-request isolation; the process keeps running).
+	CodePanic = "E007"
 
 	// CodeDirective: a mapping directive was skipped; the affected arrays
 	// stay replicated.

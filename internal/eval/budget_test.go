@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"phpf/internal/diag"
+)
+
+// budgetSrc declares 100 + 50 = 150 array cells plus scalars (which do not
+// count against the cell budget).
+const budgetSrc = `
+program t
+parameter n = 10
+real a(n,n)
+real b(50)
+real x
+integer i, j
+!hpf$ distribute (block,*) :: a
+do i = 1, n
+  do j = 1, n
+    a(i,j) = 1.0
+  end do
+end do
+end
+`
+
+func TestBudgetDefaultUnlimited(t *testing.T) {
+	p := compile(t, budgetSrc, 4)
+	if _, err := NewState(p); err != nil {
+		t.Fatalf("NewState without a budget must not fail: %v", err)
+	}
+	if _, err := NewStateBudget(p, Budget{}); err != nil {
+		t.Fatalf("zero Budget means unlimited: %v", err)
+	}
+}
+
+func TestBudgetExactFit(t *testing.T) {
+	p := compile(t, budgetSrc, 4)
+	s, err := NewStateBudget(p, Budget{MaxCells: 150})
+	if err != nil {
+		t.Fatalf("150 cells fit a 150-cell budget exactly: %v", err)
+	}
+	cells := 0
+	for _, v := range p.Res.Prog.VarList {
+		cells += len(s.Array(v))
+	}
+	if cells != 150 {
+		t.Fatalf("allocated %d cells, want 150", cells)
+	}
+}
+
+func TestBudgetBreachIsCodedE006(t *testing.T) {
+	p := compile(t, budgetSrc, 4)
+	_, err := NewStateBudget(p, Budget{MaxCells: 149})
+	if err == nil {
+		t.Fatal("149-cell budget must reject a 150-cell image")
+	}
+	var d *diag.Diagnostic
+	if !errors.As(err, &d) {
+		t.Fatalf("budget breach is not a *diag.Diagnostic: %T %v", err, err)
+	}
+	if d.Code != diag.CodeBudget {
+		t.Fatalf("budget breach code = %q, want %q (E006)", d.Code, diag.CodeBudget)
+	}
+	// The breach message names the offending array so a 422 is actionable.
+	if !strings.Contains(err.Error(), "b") || !strings.Contains(err.Error(), "149") {
+		t.Fatalf("breach message should name the array and the budget: %v", err)
+	}
+}
+
+func TestBudgetBreachBeforeAllocation(t *testing.T) {
+	// A budget of 1 against the first array (100 cells) must fail on the
+	// first accumulation — this is a behavioural proxy for the O(1)-memory
+	// guarantee (validation happens before any array is allocated).
+	p := compile(t, budgetSrc, 4)
+	_, err := NewStateBudget(p, Budget{MaxCells: 1})
+	if err == nil {
+		t.Fatal("1-cell budget must reject immediately")
+	}
+	var d *diag.Diagnostic
+	if !errors.As(err, &d) || d.Code != diag.CodeBudget {
+		t.Fatalf("want coded E006, got %T %v", err, err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"phpf/internal/ast"
 	"phpf/internal/core"
+	"phpf/internal/diag"
 	"phpf/internal/dist"
 	"phpf/internal/ir"
 	"phpf/internal/spmd"
@@ -105,10 +106,30 @@ type unionContrib struct {
 	widen []*ir.Loop
 }
 
-// NewState allocates a fresh memory image for the program. Array shapes are
-// validated against maxArrayElems so adversarial declarations fail with a
-// diagnostic instead of exhausting memory or wrapping offset arithmetic.
+// Budget bounds the resources one State may allocate. The zero value is
+// unlimited — the CLIs and tests run unconstrained; serving paths set
+// MaxCells so one hostile request cannot exhaust process memory.
+type Budget struct {
+	// MaxCells caps the total float64 cells allocated across all arrays of
+	// one memory image (0 = unlimited). Each worker of the concurrent
+	// backend holds a full replicated image, so a request's worst-case
+	// footprint is MaxCells × 8 bytes × workers.
+	MaxCells int64
+}
+
+// NewState allocates a fresh unbudgeted memory image for the program (see
+// NewStateBudget). Array shapes are validated against maxArrayElems so
+// adversarial declarations fail with a diagnostic instead of exhausting
+// memory or wrapping offset arithmetic.
 func NewState(p *spmd.Program) (*State, error) {
+	return NewStateBudget(p, Budget{})
+}
+
+// NewStateBudget allocates a fresh memory image under a resource budget. A
+// breach returns a coded E006 diagnostic (diag.CodeBudget) before anything
+// large is allocated, so a server can refuse the request as a client error
+// instead of OOMing the process.
+func NewStateBudget(p *spmd.Program, budget Budget) (*State, error) {
 	if p == nil || p.Res == nil || p.Res.Prog == nil {
 		return nil, fmt.Errorf("eval: nil program")
 	}
@@ -131,6 +152,11 @@ func NewState(p *spmd.Program) (*State, error) {
 	for i := range s.unionEpoch {
 		s.unionEpoch[i] = -1
 	}
+	// Validate every shape and the aggregate footprint before allocating
+	// anything large: a budget breach must cost O(1) memory, not trigger
+	// the very allocation it exists to prevent.
+	sizes := make([]int64, n)
+	total := int64(0)
 	for _, v := range prog.VarList {
 		s.priv[v.Slot] = p.Res.Arrays[v]
 		if !v.IsArray() {
@@ -147,7 +173,22 @@ func NewState(p *spmd.Program) (*State, error) {
 		if size < 0 {
 			return nil, fmt.Errorf("eval: array %s has negative size", v.Name)
 		}
-		s.arrays[v.Slot] = make([]float64, size)
+		sizes[v.Slot] = size
+		var ok bool
+		if total, ok = addChecked(total, size); !ok {
+			return nil, fmt.Errorf("eval: memory image overflows int64 cells")
+		}
+		if budget.MaxCells > 0 && total > budget.MaxCells {
+			return nil, diag.Errorf("eval", diag.CodeBudget, diag.Pos{},
+				"memory image needs more than %d cells (array %s alone brings the total past the MaxCells budget)",
+				budget.MaxCells, v.Name)
+		}
+	}
+	for _, v := range prog.VarList {
+		if !v.IsArray() {
+			continue
+		}
+		s.arrays[v.Slot] = make([]float64, sizes[v.Slot])
 		s.dyn[v.Slot] = p.Res.Mapping.Arrays[v]
 	}
 	return s, nil

@@ -112,6 +112,12 @@ type Config struct {
 	// complete checkpoint after a real worker panic or a watchdog-detected
 	// stall. 0 means DefaultMaxRestarts; negative disables healing.
 	MaxRestarts int
+	// MaxCells caps the total array cells of each worker's memory image
+	// (0 = unlimited; see eval.Budget). Every worker holds a full
+	// replicated image, so a run's worst-case footprint is
+	// MaxCells × 8 bytes × workers. A breach fails the run with a coded
+	// E006 diagnostic before the images are allocated.
+	MaxCells int64
 	// HardCrashes makes scheduled fail-stop crashes kill the worker
 	// goroutine for real (a panic unwinds it mid-protocol) instead of the
 	// default coordinated unwind. Recovery then goes through the run-level
@@ -301,6 +307,9 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	if cfg.CheckpointInterval < 0 || math.IsNaN(cfg.CheckpointInterval) || math.IsInf(cfg.CheckpointInterval, 0) {
 		return nil, &ConfigError{Msg: fmt.Sprintf("CheckpointInterval must be finite and >= 0, got %v", cfg.CheckpointInterval)}
 	}
+	if cfg.MaxCells < 0 {
+		return nil, &ConfigError{Msg: fmt.Sprintf("MaxCells must be >= 0 (0 = unlimited), got %d", cfg.MaxCells)}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -382,7 +391,7 @@ func (ex *executor) attempt(ctx context.Context, stall time.Duration, heal *heal
 	}
 	states := make([]*eval.State, n)
 	for i := range states {
-		st, err := eval.NewState(ex.prog)
+		st, err := eval.NewStateBudget(ex.prog, eval.Budget{MaxCells: ex.cfg.MaxCells})
 		if err != nil {
 			return nil, fmt.Errorf("exec: %w", err)
 		}

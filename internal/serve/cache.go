@@ -1,0 +1,167 @@
+// The compiled-program cache: content-hash-keyed LRU with singleflight
+// deduplication. Compilation is pure — the same (source, procs, options)
+// input always yields an equivalent Compiled — and a Compiled is safe for
+// concurrent reuse (regression-tested under -race at the repo root), so the
+// cache can hand one compiled program to many simultaneous requests. The
+// singleflight layer guarantees that N concurrent requests for the same
+// uncached key run the compiler once: the leader compiles, the followers
+// block on its result. Compile errors propagate to every waiter and are not
+// cached (the next request retries), which keeps a transient failure from
+// poisoning a key forever.
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"phpf"
+)
+
+// DefaultCacheSize is the compiled-program capacity when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 128
+
+// CacheOutcome says how a lookup was satisfied.
+type CacheOutcome string
+
+const (
+	// CacheHit: the compiled program was already resident.
+	CacheHit CacheOutcome = "hit"
+	// CacheMiss: this request ran the compiler (the singleflight leader).
+	CacheMiss CacheOutcome = "miss"
+	// CacheCoalesced: another in-flight request was already compiling the
+	// same key; this one waited for its result without compiling.
+	CacheCoalesced CacheOutcome = "coalesced"
+)
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate is the fraction of lookups served without running the compiler
+// (hits plus coalesced waiters), 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Cache is the LRU + singleflight compiled-program cache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used; values are *cacheEntry
+	byKey    map[string]*list.Element // key -> LRU element
+	inflight map[string]*flight       // key -> the compile in progress
+
+	hits, misses, coalesced, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	c   *phpf.Compiled
+}
+
+// flight is one in-progress compile other requests can wait on.
+type flight struct {
+	done chan struct{}
+	c    *phpf.Compiled
+	err  error
+}
+
+// NewCache returns an empty cache holding at most capacity compiled
+// programs (capacity <= 0 selects DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Get returns the compiled program for key, running compile at most once
+// across all concurrent callers with the same key. The returned outcome
+// says whether this call hit the cache, compiled, or waited on another
+// caller's compile.
+func (c *Cache) Get(key string, compile func() (*phpf.Compiled, error)) (*phpf.Compiled, CacheOutcome, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).c, CacheHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.c, CacheCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.c, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(key, f.c)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.c, CacheMiss, f.err
+}
+
+// insertLocked adds an entry at the front and evicts beyond capacity.
+// Callers hold c.mu.
+func (c *Cache) insertLocked(key string, compiled *phpf.Compiled) {
+	if el, ok := c.byKey[key]; ok {
+		// A racing leader for the same key already inserted (possible when
+		// a key is evicted and immediately re-requested); just refresh.
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).c = compiled
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, c: compiled})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident compiled programs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a point-in-time view of cache effectiveness.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+	}
+}

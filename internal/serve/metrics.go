@@ -1,0 +1,178 @@
+// Service metrics: cheap atomic counters and a fixed-bucket log-scale
+// latency histogram good enough for p50/p99 estimates under concurrent
+// update. The serving layer's observability contract is a consistent
+// Snapshot (exposed on /healthz and flushed on drain), not a full metrics
+// pipeline — no external dependencies, no locks on the request path.
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets: log-spaced ×2 from
+// histBase, covering 50µs .. ~1.9h. Out-of-range observations clamp to the
+// end buckets, so quantile estimates stay defined for any input.
+const (
+	histBuckets = 27
+	histBase    = 50 * time.Microsecond
+)
+
+// histogram is a concurrent-update-safe log-bucketed latency histogram.
+type histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	b := 0
+	for hi := histBase; d > hi && b < histBuckets-1; hi *= 2 {
+		b++
+	}
+	return b
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the containing bucket. Zero observations return 0.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	seen := float64(0)
+	lo, hi := time.Duration(0), histBase
+	for b := 0; b < histBuckets; b++ {
+		n := float64(h.counts[b].Load())
+		if n > 0 && seen+n >= rank {
+			frac := (rank - seen) / n
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += n
+		lo = hi
+		hi *= 2
+	}
+	return lo
+}
+
+// mean returns the arithmetic mean of all observations (0 when empty).
+func (h *histogram) mean() time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / total)
+}
+
+// Metrics aggregates the serving layer's counters. All fields are updated
+// atomically on the request path and read consistently enough for a
+// monitoring snapshot (counters may be a request apart — that is fine).
+type Metrics struct {
+	start time.Time
+
+	reqCompile atomic.Int64
+	reqRun     atomic.Int64
+	reqDiff    atomic.Int64
+
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+	shed      atomic.Int64 // 429s: admission declined, counted apart from other 4xx
+	panics    atomic.Int64 // contained request panics (each also a 5xx)
+
+	inflight atomic.Int64
+
+	service histogram // admission + execution, what the client observes minus transport
+	queue   histogram // time spent waiting for an admission slot
+}
+
+// NewMetrics returns a zeroed metrics set anchored at now.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// Status records one response's status code.
+func (m *Metrics) Status(code int) {
+	switch {
+	case code == 429:
+		m.shed.Add(1)
+	case code >= 500:
+		m.status5xx.Add(1)
+	case code >= 400:
+		m.status4xx.Add(1)
+	case code >= 200 && code < 300:
+		m.status2xx.Add(1)
+	}
+}
+
+// CacheStatsSource is what a Snapshot needs from the compiled-program cache.
+type CacheStatsSource interface{ Stats() CacheStats }
+
+// Snapshot is a consistent-enough point-in-time view of the service,
+// rendered as the /healthz body and flushed to the log on drain.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Compile int64 `json:"requests_compile"`
+	Run     int64 `json:"requests_run"`
+	Diff    int64 `json:"requests_diff"`
+
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	Shed      int64 `json:"shed"`
+	Panics    int64 `json:"panics"`
+	Inflight  int64 `json:"inflight"`
+
+	Cache CacheStats `json:"cache"`
+
+	ServiceP50Ms  float64 `json:"service_p50_ms"`
+	ServiceP90Ms  float64 `json:"service_p90_ms"`
+	ServiceP99Ms  float64 `json:"service_p99_ms"`
+	ServiceMeanMs float64 `json:"service_mean_ms"`
+	QueueP50Ms    float64 `json:"queue_p50_ms"`
+	QueueP99Ms    float64 `json:"queue_p99_ms"`
+
+	Draining bool `json:"draining"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Snapshot renders the current counters.
+func (m *Metrics) Snapshot(cache CacheStatsSource, draining bool) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Compile:       m.reqCompile.Load(),
+		Run:           m.reqRun.Load(),
+		Diff:          m.reqDiff.Load(),
+		Status2xx:     m.status2xx.Load(),
+		Status4xx:     m.status4xx.Load(),
+		Status5xx:     m.status5xx.Load(),
+		Shed:          m.shed.Load(),
+		Panics:        m.panics.Load(),
+		Inflight:      m.inflight.Load(),
+		ServiceP50Ms:  ms(m.service.quantile(0.50)),
+		ServiceP90Ms:  ms(m.service.quantile(0.90)),
+		ServiceP99Ms:  ms(m.service.quantile(0.99)),
+		ServiceMeanMs: ms(m.service.mean()),
+		QueueP50Ms:    ms(m.queue.quantile(0.50)),
+		QueueP99Ms:    ms(m.queue.quantile(0.99)),
+		Draining:      draining,
+	}
+	if cache != nil {
+		s.Cache = cache.Stats()
+	}
+	return s
+}

@@ -54,6 +54,10 @@ type Config struct {
 	// Trace, when non-nil, records runtime events (stamped with simulated
 	// time) into Result.Trace. Nil keeps the event path emission-free.
 	Trace *trace.Options
+	// MaxCells caps the total array cells of the memory image (0 =
+	// unlimited; see eval.Budget). A breach fails the run with a coded
+	// E006 diagnostic before the image is allocated.
+	MaxCells int64
 }
 
 // Validate rejects configurations that cannot describe a run, mirroring
@@ -73,6 +77,9 @@ func (c Config) Validate() error {
 	}
 	if c.CheckpointInterval < 0 {
 		return fmt.Errorf("sim: CheckpointInterval must be >= 0 (0 = off), got %v", c.CheckpointInterval)
+	}
+	if c.MaxCells < 0 {
+		return fmt.Errorf("sim: MaxCells must be >= 0 (0 = unlimited), got %v", c.MaxCells)
 	}
 	return nil
 }
@@ -149,7 +156,7 @@ func RunContext(ctx context.Context, p *spmd.Program, cfg Config) (*Result, erro
 			}
 		}
 	}
-	st, err := eval.NewState(p)
+	st, err := eval.NewStateBudget(p, eval.Budget{MaxCells: cfg.MaxCells})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}

@@ -18,8 +18,11 @@ package phpf
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -139,6 +142,21 @@ type Compiled struct {
 	SPMD   *spmd.Program
 }
 
+// CacheKey returns a stable content hash identifying a compilation input:
+// two calls with the same source text, processor count, and option set
+// return the same key, and any difference in them changes it. Serving
+// layers key compiled-program caches on it (compile once, serve many);
+// because the key covers the full input, a hit can reuse the Compiled
+// without revalidation.
+func CacheKey(source string, nprocs int, opts Options) string {
+	h := sha256.New()
+	// The version tag invalidates every cached key when the encoding (or
+	// the meaning of an option) changes incompatibly.
+	fmt.Fprintf(h, "phpf-cache-v1\x00procs=%d\x00opts=%+v\x00", nprocs, opts)
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Compile parses, analyzes and lowers a mini-HPF program for nprocs
 // processors.
 func Compile(source string, nprocs int, opts Options) (*Compiled, error) {
@@ -225,6 +243,58 @@ type RunOptions struct {
 	// Nil keeps the event path of both backends emission- and
 	// allocation-free.
 	Trace *TraceOptions
+
+	// MaxCells caps the total array cells of one memory image (0 =
+	// unlimited). Both backends enforce it before allocating: the run fails
+	// with a coded E006 (budget) diagnostic instead of letting one huge
+	// declaration exhaust process memory. The concurrent backend holds one
+	// full replicated image per worker, so its worst-case footprint is
+	// MaxCells × 8 bytes × workers. CLIs default to unlimited; serving
+	// paths should always set it.
+	MaxCells int64
+}
+
+// Validate sanity-checks the options against zero/negative/absurd values
+// without knowing the target backend: non-finite or negative time bounds and
+// intervals, invalid machine parameters (a zero Params means SP2Params() and
+// is accepted), malformed fault plans, and negative resource budgets all
+// return a coded E005 diagnostic. Backends re-validate what they consume;
+// this is the early, backend-independent gate serving paths run before
+// admitting a request.
+func (o RunOptions) Validate() error {
+	bad := func(format string, args ...any) error { return configErr("options", format, args...) }
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MaxSeconds", o.MaxSeconds},
+		{"CheckpointInterval", o.CheckpointInterval},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return bad("%s must be finite, got %v", f.name, f.v)
+		}
+		if f.v < 0 {
+			return bad("%s must be >= 0, got %v", f.name, f.v)
+		}
+	}
+	if o.Params != (MachineParams{}) {
+		if err := o.Params.Validate(); err != nil {
+			return bad("%v", err)
+		}
+	}
+	if err := o.Fault.Validate(); err != nil {
+		return bad("%v", err)
+	}
+	if o.Workers < 0 {
+		return bad("Workers must be >= 0 (0 = one per processor), got %d", o.Workers)
+	}
+	if o.MailboxDepth < 0 {
+		return bad("MailboxDepth must be >= 0 (0 = default), got %d", o.MailboxDepth)
+	}
+	if o.MaxCells < 0 {
+		return bad("MaxCells must be >= 0 (0 = unlimited), got %d", o.MaxCells)
+	}
+	return nil
 }
 
 // Report is the backend-independent outcome of one execution.
@@ -331,6 +401,7 @@ func (simulatorBackend) Run(ctx context.Context, p *spmd.Program, opts RunOption
 		Fault:              opts.Fault,
 		CheckpointInterval: opts.CheckpointInterval,
 		Trace:              opts.Trace,
+		MaxCells:           opts.MaxCells,
 	})
 	if err != nil {
 		return nil, err
@@ -368,6 +439,7 @@ func (concurrentBackend) Run(ctx context.Context, p *spmd.Program, opts RunOptio
 		CheckpointInterval: opts.CheckpointInterval,
 		MaxRestarts:        opts.MaxRestarts,
 		HardCrashes:        opts.HardCrashes,
+		MaxCells:           opts.MaxCells,
 	})
 	if err != nil {
 		return nil, err
@@ -405,6 +477,7 @@ func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, erro
 			Params:     opts.Params,
 			MaxSeconds: opts.MaxSeconds,
 			Profile:    opts.Profile,
+			MaxCells:   opts.MaxCells,
 		},
 		Exec: exec.Config{
 			Params:       opts.Params,
@@ -412,6 +485,7 @@ func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, erro
 			MailboxDepth: opts.MailboxDepth,
 			StallTimeout: opts.StallTimeout,
 			MaxRestarts:  opts.MaxRestarts,
+			MaxCells:     opts.MaxCells,
 		},
 		Trace:              opts.Trace,
 		Fault:              opts.Fault,

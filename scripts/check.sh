@@ -18,6 +18,7 @@ go test -run=^$ -fuzz=FuzzLex -fuzztime="$fuzztime" ./internal/lexer
 go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
 go test -run=^$ -fuzz=FuzzParseCrashes -fuzztime="$fuzztime" ./internal/fault
 go test -run=^$ -fuzz=FuzzParseSlowdowns -fuzztime="$fuzztime" ./internal/fault
+go test -run=^$ -fuzz=FuzzServeRequest -fuzztime="$fuzztime" ./internal/serve
 
 # Chaos gate: every seeded fault plan (loss, duplication, slowdown,
 # checkpointing, mid-loop fail-stop healed by checkpoint/restart, and the
@@ -44,6 +45,14 @@ go test -run '^TestGolden' .
 # the gate (e.g. on heavily loaded machines where timings are meaningless).
 if [ "${BENCH_SKIP:-0}" != "1" ]; then
     scripts/bench.sh check
+fi
+
+# Serve smoke: boot phpfserve on a random port and drive it with phpfload —
+# zero 5xx under a sustained mixed burst (chaos + malformed fractions),
+# real 429 shedding under forced overload, graceful drain on SIGTERM with
+# the final metrics flushed. SERVE_SKIP=1 skips (scripts/serve_smoke.sh).
+if [ "${SERVE_SKIP:-0}" != "1" ]; then
+    scripts/serve_smoke.sh
 fi
 
 echo "check: OK"

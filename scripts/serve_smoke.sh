@@ -1,0 +1,85 @@
+#!/bin/sh
+# Serve smoke: the end-to-end robustness gate for phpfserve.
+#
+# Boots the server on a random port, then drives it with cmd/phpfload:
+#
+#   1. a sustained mixed burst (figures x strategies x backends, a chaos
+#      fraction routed through the fault layer, a malformed fraction) —
+#      well-formed requests must never answer 5xx;
+#   2. a forced overload (concurrency far past one tenant's slots) — the
+#      server must shed with 429s instead of queueing without bound;
+#   3. a SIGTERM — the server must drain gracefully, flush its final
+#      metrics snapshot, and exit 0.
+#
+# Environment knobs:
+#   SERVE_SKIP=1     skip the gate entirely
+#   SERVE_BURST      burst 1 duration (default 5s)
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${SERVE_SKIP:-0}" = "1" ]; then
+    echo "serve_smoke: skipped (SERVE_SKIP=1)"
+    exit 0
+fi
+
+work=".tmp/serve_smoke"
+rm -rf "$work"
+mkdir -p "$work"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/phpfserve" ./cmd/phpfserve
+go build -o "$work/phpfload" ./cmd/phpfload
+
+"$work/phpfserve" -addr 127.0.0.1:0 -chaos \
+    >"$work/serve.out" 2>"$work/serve.err" &
+pid=$!
+
+# The server announces its resolved address on stdout.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^phpfserve listening on //p' "$work/serve.out")"
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || {
+        echo "serve_smoke: phpfserve died on startup" >&2
+        cat "$work/serve.err" >&2
+        exit 1
+    }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || {
+    echo "serve_smoke: server never announced its port" >&2
+    exit 1
+}
+
+echo "serve_smoke: burst 1 — sustained mixed load (chaos + malformed), zero 5xx required"
+"$work/phpfload" -addr "http://$addr" -c 16 -duration "${SERVE_BURST:-5s}" \
+    -chaos 0.1 -diff 0.05 -bad 0.05 -fail-on-5xx
+
+echo "serve_smoke: burst 2 — forced overload, shedding required"
+"$work/phpfload" -addr "http://$addr" -c 128 -tenants 1 -duration 2s \
+    -fail-on-5xx -require-shed
+
+echo "serve_smoke: SIGTERM — graceful drain required"
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+if [ "$status" -ne 0 ]; then
+    echo "serve_smoke: phpfserve exited $status after SIGTERM, want 0" >&2
+    cat "$work/serve.err" >&2
+    exit 1
+fi
+grep -q "final metrics" "$work/serve.err" || {
+    echo "serve_smoke: drain did not flush the final metrics snapshot" >&2
+    cat "$work/serve.err" >&2
+    exit 1
+}
+
+echo "serve_smoke: OK"

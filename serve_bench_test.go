@@ -1,0 +1,108 @@
+package phpf_test
+
+// Serving benchmarks: the load half of the phpfserve robustness contract,
+// run in-process over httptest so the regression gate sees real HTTP,
+// admission control, and the compiled-program cache without needing a
+// separate process. Custom metrics recorded into BENCH_<n>.json:
+//
+//	p50-ms / p99-ms   server-side service latency quantiles
+//	hit-rate          cache lookups served without compiling (0..1)
+//	shed-rate         fraction of requests answered 429 (0..1)
+//
+// BenchmarkServeThroughput drives parallel mixed figure×strategy traffic;
+// BenchmarkServeLatency measures the cache-hot single-stream round trip.
+// cmd/phpfload is the out-of-process equivalent for real deployments.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"phpf/internal/serve"
+)
+
+// serveBenchBodies builds the mixed request set: the runnable figures plus
+// the smooth kernel across the three optimization strategies on the
+// simulator backend (deterministic work, no goroutine fan-out noise).
+// figure2/figure4 are excluded: those paper fragments read uninitialized
+// subscripts and fail at runtime by design (a 422, which would pollute a
+// throughput benchmark meant to measure the success path).
+func serveBenchBodies() [][]byte {
+	var bodies [][]byte
+	for _, fig := range []string{"figure1", "figure5", "figure6", "figure7", "smooth"} {
+		for _, opt := range []string{"naive", "producer", "selected"} {
+			bodies = append(bodies,
+				[]byte(fmt.Sprintf(`{"figure":%q,"procs":4,"opt":%q,"backend":"sim"}`, fig, opt)))
+		}
+	}
+	return bodies
+}
+
+func reportServeMetrics(b *testing.B, s *serve.Server, requests int64) {
+	b.Helper()
+	snap := s.Snapshot()
+	if snap.Status5xx > 0 {
+		b.Fatalf("%d requests answered 5xx under benchmark load", snap.Status5xx)
+	}
+	b.ReportMetric(snap.ServiceP50Ms, "p50-ms")
+	b.ReportMetric(snap.ServiceP99Ms, "p99-ms")
+	b.ReportMetric(snap.Cache.HitRate(), "hit-rate")
+	if requests > 0 {
+		b.ReportMetric(float64(snap.Shed)/float64(requests), "shed-rate")
+	}
+}
+
+func BenchmarkServeThroughput(b *testing.B) {
+	s := serve.New(serve.Config{MaxConcurrent: 64, PerTenant: 64, QueueDepth: 256})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	bodies := serveBenchBodies()
+
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			body := bodies[int(seq.Add(1))%len(bodies)]
+			resp, err := client.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != 200 && resp.StatusCode != 429 {
+				b.Errorf("status %d on a well-formed request", resp.StatusCode)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportServeMetrics(b, s, seq.Load())
+}
+
+func BenchmarkServeLatency(b *testing.B) {
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+	body := []byte(`{"figure":"figure1","procs":4,"backend":"sim"}`)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	reportServeMetrics(b, s, int64(b.N))
+}
