@@ -1,0 +1,214 @@
+package phpf
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"phpf/internal/programs"
+)
+
+// TestStrippedFiguresCompileInferMode: the directive-stripped figure copies
+// carry no privatization assertions, yet compile cleanly with inference on.
+func TestStrippedFiguresCompileInferMode(t *testing.T) {
+	for _, name := range FigureNames() {
+		src := programs.FiguresUnannotated[name]
+		if src == "" {
+			t.Fatalf("%s: no unannotated copy", name)
+		}
+		low := strings.ToLower(src)
+		if strings.Contains(low, "independent") || strings.Contains(low, "nodeps") {
+			t.Errorf("%s: privatization directive survived stripping:\n%s", name, src)
+		}
+		if _, err := Compile(src, 8, SelectedOptions()); err != nil {
+			t.Errorf("%s: infer-mode compile of the stripped copy failed: %v", name, err)
+		}
+	}
+}
+
+// TestInferMatchesAnnotated is the acceptance oracle: every figure and every
+// evaluation kernel compiled from its directive-stripped source in infer mode
+// must run bitwise identically to the hand-annotated original — on the
+// simulator across processor counts, and on the concurrent executor via the
+// differential oracle. Programs that cannot execute on zero-initialized data
+// (figure2/figure4 index arrays with values read from memory) must at least
+// fail identically in both modes.
+func TestInferMatchesAnnotated(t *testing.T) {
+	ctx := context.Background()
+	sources := []struct{ name, src string }{
+		{"tomcatv", TOMCATVSource(17, 2)},
+		{"dgefa", DGEFASource(24)},
+		{"appsp-1d", APPSPSource(6, 6, 6, 1, false)},
+		{"appsp-2d", APPSPSource(6, 6, 6, 1, true)},
+	}
+	for _, name := range FigureNames() {
+		src, _ := FigureSource(name)
+		sources = append(sources, struct{ name, src string }{name, src})
+	}
+	for _, tc := range sources {
+		t.Run(tc.name, func(t *testing.T) {
+			stripped := programs.StripPrivatization(tc.src)
+			runnable := true
+			for _, procs := range []int{1, 4, 8} {
+				ca, err := Compile(tc.src, procs, SelectedOptions())
+				if err != nil {
+					t.Fatalf("P=%d annotated: %v", procs, err)
+				}
+				cs, err := Compile(stripped, procs, SelectedOptions())
+				if err != nil {
+					t.Fatalf("P=%d stripped: %v", procs, err)
+				}
+				ra, errA := ca.Execute(ctx, Simulator(), RunOptions{})
+				rs, errS := cs.Execute(ctx, Simulator(), RunOptions{})
+				if errA != nil || errS != nil {
+					runnable = false
+					if (errA == nil) != (errS == nil) {
+						t.Fatalf("P=%d: annotated run err %v, stripped run err %v", procs, errA, errS)
+					}
+					continue // fails identically in both modes (e.g. OOB on zero data)
+				}
+				compareReports(t, procs, ra, rs)
+			}
+			if !runnable {
+				return
+			}
+			// Concurrent executor vs simulator on the inferred mapping.
+			cs, err := Compile(stripped, 4, SelectedOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := cs.Diff(ctx, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Match() {
+				t.Errorf("differential oracle mismatch on inferred mapping:\n%s", rep)
+			}
+		})
+	}
+}
+
+// compareReports asserts bitwise-equal final memory between two runs (NaNs
+// compare by bit pattern, so identical NaN payloads pass).
+func compareReports(t *testing.T, procs int, a, b *Report) {
+	t.Helper()
+	bitsEq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	for name, av := range a.Scalars {
+		if bv, ok := b.Scalars[name]; !ok || !bitsEq(av, bv) {
+			t.Errorf("P=%d scalar %s: annotated %v, inferred %v", procs, name, av, bv)
+		}
+	}
+	if len(a.Scalars) != len(b.Scalars) {
+		t.Errorf("P=%d scalar sets differ: %d vs %d", procs, len(a.Scalars), len(b.Scalars))
+	}
+	for name, av := range a.Arrays {
+		bv := b.Arrays[name]
+		if len(av) != len(bv) {
+			t.Errorf("P=%d array %s: lengths %d vs %d", procs, name, len(av), len(bv))
+			continue
+		}
+		for i := range av {
+			if !bitsEq(av[i], bv[i]) {
+				t.Errorf("P=%d array %s[%d]: annotated %v, inferred %v", procs, name, i, av[i], bv[i])
+				break
+			}
+		}
+	}
+	if len(a.Arrays) != len(b.Arrays) {
+		t.Errorf("P=%d array sets differ: %d vs %d", procs, len(a.Arrays), len(b.Arrays))
+	}
+}
+
+// TestAutoPrivatizeArraysAlias pins the deprecated option spelling: setting
+// AutoPrivatizeArrays must behave exactly like Privatization: PrivInfer, and
+// an explicit non-default Privatization wins over the alias.
+func TestAutoPrivatizeArraysAlias(t *testing.T) {
+	legacy := SelectedOptions()
+	legacy.Privatization = PrivDirectives
+	legacy.AutoPrivatizeArrays = true
+	if got := legacy.PrivatizationMode(); got != PrivInfer {
+		t.Fatalf("AutoPrivatizeArrays alias resolves to %v, want PrivInfer", got)
+	}
+	strict := legacy
+	strict.Privatization = PrivInferStrict
+	if got := strict.PrivatizationMode(); got != PrivInferStrict {
+		t.Fatalf("explicit Privatization should win over the alias, got %v", got)
+	}
+	if got := SelectedOptions().PrivatizationMode(); got != PrivInfer {
+		t.Fatalf("SelectedOptions default mode = %v, want PrivInfer", got)
+	}
+
+	// Both spellings must produce the identical compiled program.
+	src := `
+program sweep
+parameter n = 64
+real a(n,n), w(n)
+integer i, k
+!hpf$ distribute (*,block) :: a
+do k = 1, n
+  do i = 1, n
+    w(i) = a(i,k) * 2.0
+  end do
+  do i = 1, n
+    a(i,k) = w(i) + 1.0
+  end do
+end do
+end
+`
+	modern := SelectedOptions()
+	modern.Privatization = PrivInfer
+	cLegacy, err := Compile(src, 8, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cModern, err := Compile(src, 8, modern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl, dm := cLegacy.DumpSPMD(), cModern.DumpSPMD(); dl != dm {
+		t.Errorf("alias and new spelling compile differently:\n--- legacy ---\n%s--- modern ---\n%s", dl, dm)
+	}
+}
+
+// FuzzAutoPriv: infer-mode compilation must never panic, and whenever both
+// directive mode and infer mode accept a program, their runs must agree
+// bitwise on final memory (inference may only remove communication, never
+// change semantics).
+func FuzzAutoPriv(f *testing.F) {
+	for _, name := range FigureNames() {
+		src, _ := FigureSource(name)
+		f.Add(src)
+		f.Add(programs.FiguresUnannotated[name])
+	}
+	f.Add(SmoothSource(16, 2))
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		dirOpts := SelectedOptions()
+		dirOpts.Privatization = PrivDirectives
+		infOpts := SelectedOptions()
+		infOpts.Privatization = PrivInfer
+		cDir, errDir := Compile(src, 4, dirOpts)
+		cInf, errInf := Compile(src, 4, infOpts)
+		if (errDir == nil) != (errInf == nil) {
+			t.Fatalf("modes disagree on acceptance: directives=%v infer=%v", errDir, errInf)
+		}
+		if errDir != nil {
+			t.Skip("rejected in both modes")
+		}
+		run := RunOptions{MaxSeconds: 5, MaxCells: 1 << 16}
+		rDir, errDir := cDir.Execute(context.Background(), Simulator(), run)
+		rInf, errInf := cInf.Execute(context.Background(), Simulator(), run)
+		if errDir != nil || errInf != nil {
+			// Resource-bound aborts (cell limit) are acceptable in either
+			// mode; semantics are only comparable on completed runs.
+			t.Skip("bounded run")
+		}
+		if rDir.Aborted || rInf.Aborted {
+			t.Skip("time-bounded run")
+		}
+		compareReports(t, 4, rDir, rInf)
+	})
+}

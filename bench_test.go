@@ -136,6 +136,32 @@ func BenchmarkCompileTOMCATV(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileInfer measures what privatization inference adds to
+// compilation: the same kernel compiled with facts taken from directives
+// only versus inferred by the autopriv pass (the regression-gated point —
+// inference must stay a small fraction of the pipeline).
+func BenchmarkCompileInfer(b *testing.B) {
+	src := TOMCATVSource(257, 10)
+	modes := []struct {
+		name string
+		mode PrivMode
+	}{
+		{"Directives", PrivDirectives},
+		{"Infer", PrivInfer},
+	}
+	for _, m := range modes {
+		opts := SelectedOptions()
+		opts.Privatization = m.mode
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(src, 16, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations: the design choices DESIGN.md calls out ----------------------
 
 // BenchmarkAblationVectorization compares TOMCATV with and without message

@@ -32,7 +32,18 @@ func main() {
 	diff := flag.Bool("diff", false, "run the differential oracle (concurrent executor vs sequential simulator) instead of the tables")
 	chaos := flag.Bool("chaos", false, "run the chaos sweep (seeded loss/dup/crash/checkpoint plans, physically injected into the concurrent backend and oracle-checked against the simulator) instead of the tables")
 	traceSummary := flag.Bool("trace-summary", false, "trace every sweep point (benchmark x strategy x procs) and print its communication matrix instead of the tables")
+	privatize := flag.String("privatize", "", "privatization mode for the table runs: directives, infer (default), infer-strict")
 	flag.Parse()
+
+	var privMode []phpf.PrivMode
+	if *privatize != "" {
+		mode, ok := phpf.ParsePrivMode(*privatize)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfbench: unknown privatization mode %q (directives, infer, infer-strict)\n", *privatize)
+			os.Exit(2)
+		}
+		privMode = append(privMode, mode)
+	}
 
 	procs := []int{1, 2, 4, 8, 16}
 
@@ -138,7 +149,7 @@ func main() {
 	}
 
 	if *table == 0 || *table == 1 {
-		rows, err := phpf.Table1TOMCATV(tomN, tomIter, procs, *maxSec)
+		rows, err := phpf.Table1TOMCATV(tomN, tomIter, procs, *maxSec, privMode...)
 		if err != nil {
 			fail(err)
 		}
@@ -146,7 +157,7 @@ func main() {
 		fmt.Println()
 	}
 	if *table == 0 || *table == 2 {
-		rows, err := phpf.Table2DGEFA(dgeN, procs[1:], *maxSec)
+		rows, err := phpf.Table2DGEFA(dgeN, procs[1:], *maxSec, privMode...)
 		if err != nil {
 			fail(err)
 		}
@@ -154,7 +165,7 @@ func main() {
 		fmt.Println()
 	}
 	if *table == 0 || *table == 3 {
-		rows, err := phpf.Table3APPSP(apN, apN, apN, apIter, procs[1:], *maxSec)
+		rows, err := phpf.Table3APPSP(apN, apN, apN, apIter, procs[1:], *maxSec, privMode...)
 		if err != nil {
 			fail(err)
 		}

@@ -25,8 +25,10 @@ func main() {
 	dump := flag.String("dump", "all", "what to print: mapping, comm, spmd, labels, all")
 	figure := flag.String("figure", "", "analyze a paper figure instead of a file (figure1, figure2, figure4, figure5, figure6, figure7)")
 	trace := flag.Bool("trace", false, "print the per-pass compile profile (wall time, diagnostics, re-runs)")
-	dumpAfter := flag.String("dump-after", "", "print the compilation unit snapshot after the named pass (ir, cfg, ssa, constprop, induction, mapping, analyze)")
+	dumpAfter := flag.String("dump-after", "", "print the compilation unit snapshot after the named pass (ir, cfg, ssa, constprop, induction, autopriv, mapping, analyze)")
 	verify := flag.Bool("verify", false, "run the IR/SSA/mapping verifier between passes")
+	privatize := flag.String("privatize", "", "privatization mode: directives, infer (default), infer-strict")
+	explainPriv := flag.Bool("explain-priv", false, "print the per-variable privatization decisions with reasons")
 	flag.Parse()
 
 	var source string
@@ -65,6 +67,14 @@ func main() {
 
 	opts.Verify = opts.Verify || *verify
 	opts.DumpAfter = *dumpAfter
+	if *privatize != "" {
+		mode, ok := phpf.ParsePrivMode(*privatize)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfc: unknown privatization mode %q (directives, infer, infer-strict)\n", *privatize)
+			os.Exit(2)
+		}
+		opts.Privatization = mode
+	}
 
 	c, err := phpf.Compile(source, *procs, opts)
 	if err != nil {
@@ -89,6 +99,11 @@ func main() {
 	if *trace {
 		fmt.Println("=== compile profile ===")
 		fmt.Print(c.Profile().String())
+		return
+	}
+	if *explainPriv {
+		fmt.Println("=== privatization decisions ===")
+		fmt.Print(c.ExplainPriv())
 		return
 	}
 	if *dump == "mapping" || *dump == "all" {

@@ -55,6 +55,7 @@ func main() {
 	twoD := flag.Bool("2d", false, "APPSP: use the 2-D distribution")
 	n := flag.Int("n", 129, "built-in kernel size")
 	iters := flag.Int("iters", 5, "built-in kernel iterations")
+	privatize := flag.String("privatize", "", "privatization mode: directives, infer (default), infer-strict")
 
 	backend := flag.String("exec", "sim", "execution backend: sim (sequential simulator) or concurrent (goroutine per processor)")
 	workers := flag.Int("workers", 0, "concurrent backend: worker count (0 = one per simulated processor)")
@@ -106,6 +107,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "phpfrun: unknown level %q\n", *level)
 		os.Exit(2)
+	}
+	if *privatize != "" {
+		mode, ok := phpf.ParsePrivMode(*privatize)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfrun: unknown privatization mode %q (directives, infer, infer-strict)\n", *privatize)
+			os.Exit(2)
+		}
+		opts.Privatization = mode
 	}
 
 	plan := &phpf.FaultPlan{Seed: *faultSeed, LossRate: *lossRate, DupRate: *dupRate}

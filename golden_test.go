@@ -52,6 +52,46 @@ func TestGoldenDumps(t *testing.T) {
 	}
 }
 
+// TestGoldenAutoPrivDumps locks down the -dump-after=autopriv snapshot of
+// every paper figure: the classification summary and the inferred loop
+// annotations the pass inserted must be byte-identical to the checked-in
+// golden files. Run with -update after an intentional change.
+func TestGoldenAutoPrivDumps(t *testing.T) {
+	for _, name := range FigureNames() {
+		t.Run(name, func(t *testing.T) {
+			src, ok := FigureSource(name)
+			if !ok {
+				t.Fatalf("unknown figure %s", name)
+			}
+			opts := SelectedOptions()
+			opts.DumpAfter = "autopriv"
+			c, err := Compile(src, 16, opts)
+			if err != nil {
+				t.Fatalf("compile %s: %v", name, err)
+			}
+			got, ok := c.Profile().Dumps["autopriv"]
+			if !ok {
+				t.Fatal("no autopriv snapshot captured")
+			}
+			path := filepath.Join("testdata", "dumps", name+".autopriv.golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenAutoPrivDumps -update .`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("autopriv dump for %s deviates from %s\n--- got ---\n%s--- want ---\n%s",
+					name, path, got, string(want))
+			}
+		})
+	}
+}
+
 // TestGoldenDumpStability compiles each figure twice and requires identical
 // snapshots, independent of the golden files (catches nondeterminism even
 // when -update was just run).

@@ -182,6 +182,10 @@ func (a *analyzer) refPattern(ref *ir.Ref) dist.OwnerPattern {
 			}
 		}
 	}
+	if m != nil && m.LastPrivate && m.PrivLoop != nil && !ir.Encloses(m.PrivLoop, ref.Stmt.Loop) {
+		// Past the copy-out: every processor holds the final value.
+		return dist.ReplicatedPattern(g)
+	}
 	return a.res.ScalarPattern(m)
 }
 

@@ -3,41 +3,35 @@ package core
 import (
 	"sort"
 
-	"phpf/internal/dataflow"
 	"phpf/internal/dist"
 	"phpf/internal/ir"
 )
 
-// privatizeArrays implements §3: for every loop carrying a NEW clause (or a
-// NODEPS directive implying memory-based dependences on written arrays), it
-// privatizes the named arrays — fully when the alignment target is valid
-// throughout the loop, partially (partition + privatize) otherwise.
+// privatizeArrays implements §3: for every loop carrying a privatization
+// fact — a NEW clause, a NODEPS directive implying memory-based dependences
+// on written arrays, or an inferred-NEW annotation the autopriv pass
+// inserted — it privatizes the named arrays: fully when the alignment
+// target is valid throughout the loop, partially (partition + privatize)
+// otherwise. Strict inference ignores the directive-asserted sources.
 func (a *analyzer) privatizeArrays() {
-	// Automatic discovery (extension; the paper's prototype relied on
-	// directives).
-	auto := map[*ir.Loop][]*ir.Var{}
-	if a.opts.AutoPrivatizeArrays {
-		for _, ap := range dataflow.FindAutoPrivatizableArrays(a.prog) {
-			auto[ap.Loop] = append(auto[ap.Loop], ap.Var)
-		}
-	}
+	strict := a.opts.PrivatizationMode() == PrivInferStrict
 	for _, L := range a.prog.Loops {
 		var cands []*ir.Var
 		seen := map[*ir.Var]bool{}
-		for _, name := range L.New {
-			v := a.prog.LookupVar(name)
-			if v != nil && v.IsArray() && !seen[v] {
-				cands = append(cands, v)
-				seen[v] = true
+		addNames := func(names []string) {
+			for _, name := range names {
+				v := a.prog.LookupVar(name)
+				if v != nil && v.IsArray() && !seen[v] {
+					cands = append(cands, v)
+					seen[v] = true
+				}
 			}
 		}
-		for _, v := range auto[L] {
-			if !seen[v] {
-				cands = append(cands, v)
-				seen[v] = true
-			}
+		if !strict {
+			addNames(L.New)
 		}
-		if L.NoDeps {
+		addNames(L.InferredNew)
+		if L.NoDeps && !strict {
 			// Paper §3.1: under the weaker directive, any lhs array
 			// reference whose subscripts are all invariant with respect to
 			// the loop (or affine in inner loop indices only) contributes

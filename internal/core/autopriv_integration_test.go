@@ -22,12 +22,11 @@ end do
 end
 `
 
-// TestAutoArrayPrivatizationIntegration: with the extension enabled, the
-// work array is privatized exactly as if NEW(w) had been written.
+// TestAutoArrayPrivatizationIntegration: under the default inference mode,
+// the work array is privatized exactly as if NEW(w) had been written; in
+// directives-only mode it stays replicated.
 func TestAutoArrayPrivatizationIntegration(t *testing.T) {
-	opts := DefaultOptions()
-	opts.AutoPrivatizeArrays = true
-	r := analyze(t, autoPrivSrc, 4, opts)
+	r := analyze(t, autoPrivSrc, 4, DefaultOptions())
 	w := r.Prog.LookupVar("w")
 	ap := r.Arrays[w]
 	if ap == nil {
@@ -40,10 +39,12 @@ func TestAutoArrayPrivatizationIntegration(t *testing.T) {
 		t.Errorf("target = %v", ap.Target)
 	}
 
-	// Without the extension (and without NEW), w stays replicated.
-	r2 := analyze(t, autoPrivSrc, 4, DefaultOptions())
+	// Directives-only mode (and no NEW): w stays replicated.
+	opts := DefaultOptions()
+	opts.Privatization = PrivDirectives
+	r2 := analyze(t, autoPrivSrc, 4, opts)
 	if r2.Arrays[r2.Prog.LookupVar("w")] != nil {
-		t.Error("w privatized without NEW and without the extension")
+		t.Error("w privatized without NEW in directives-only mode")
 	}
 }
 
@@ -68,9 +69,7 @@ end do
 end
 `
 	rNew := analyze(t, withNew, 4, DefaultOptions())
-	opts := DefaultOptions()
-	opts.AutoPrivatizeArrays = true
-	rAuto := analyze(t, autoPrivSrc, 4, opts)
+	rAuto := analyze(t, autoPrivSrc, 4, DefaultOptions())
 
 	apNew := rNew.Arrays[rNew.Prog.LookupVar("w")]
 	apAuto := rAuto.Arrays[rAuto.Prog.LookupVar("w")]

@@ -160,8 +160,9 @@ end
 }
 
 // TestNoDepsDoesNotCaptureVaryingArray: an array whose subscripts vary with
-// the NODEPS loop has no memory-based carried dependence and is not
-// privatized.
+// the NODEPS loop has no memory-based carried dependence, so the directive
+// does not capture it (pinned in directives-only mode — the inference pass
+// can and does privatize it on its own merits).
 func TestNoDepsDoesNotCaptureVaryingArray(t *testing.T) {
 	src := `
 program t
@@ -180,7 +181,9 @@ do j = 1, n
 end do
 end
 `
-	r := analyze(t, src, 4, DefaultOptions())
+	opts := DefaultOptions()
+	opts.Privatization = PrivDirectives
+	r := analyze(t, src, 4, opts)
 	if ap := r.Arrays[r.Prog.LookupVar("w")]; ap != nil {
 		t.Errorf("w privatized (%v) although its subscripts vary with j", ap)
 	}

@@ -9,19 +9,25 @@ import (
 
 // Pipeline returns the declared analysis pipeline, ending in the analyze
 // pass which deposits its Result through the returned pointer-pointer. The
-// pass order is: ir, cfg, ssa, constprop, induction, mapping, analyze,
-// slots. Induction rewriting does not rebuild downstream structures inline;
-// it invalidates FactCFG and the manager lazily re-runs cfg/ssa/constprop
-// before analyze (visible in the profile as re-runs). The slots pass runs
-// last — after every expression rewrite has settled — and freezes the dense
-// variable numbering the interpreter's slot-indexed state relies on.
+// pass order is: ir, cfg, ssa, constprop, induction, autopriv, mapping,
+// analyze, slots. Induction rewriting does not rebuild downstream
+// structures inline; it invalidates FactCFG and the manager lazily re-runs
+// cfg/ssa before autopriv and constprop before analyze (visible in the
+// profile as re-runs). The autopriv pass runs over the rewritten SSA —
+// privatization inference sees closed-form induction expressions — and
+// deposits its inferred annotations before the mapping pass consumes them.
+// The slots pass runs last — after every expression rewrite has settled —
+// and freezes the dense variable numbering the interpreter's slot-indexed
+// state relies on.
 func Pipeline(opts Options, out **Result) []pass.Pass {
+	mode := opts.PrivatizationMode()
 	analyze := &pass.Funcs{
 		PassName: "analyze",
 		Needs: []pass.Fact{pass.FactIR, pass.FactSSA, pass.FactConsts,
-			pass.FactMapping},
+			pass.FactMapping, pass.FactAutoPriv},
 		RunFunc: func(u *pass.Unit) error {
 			res := Analyze(u.Prog, u.SSA, u.Consts, u.Mapping, u.Inductions, opts)
+			res.Priv = u.AutoPriv
 			for _, d := range res.Diags {
 				u.Diag(d)
 			}
@@ -35,6 +41,7 @@ func Pipeline(opts Options, out **Result) []pass.Pass {
 		pass.SSABuild(),
 		pass.ConstProp(),
 		pass.Induction(),
+		pass.AutoPriv(mode != PrivDirectives, mode == PrivInferStrict),
 		pass.Mapping(),
 		analyze,
 		pass.Slots(),

@@ -36,11 +36,13 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 	if sib := a.existingSiblingMapping(def); sib != nil {
 		adopted := *sib
 		adopted.Def = def
+		// The copy-out belongs to the sibling's definition alone.
+		adopted.LastPrivate = false
 		a.record(def, &adopted)
 		return &adopted
 	}
 
-	privLoop := a.privatizationLoop(def)
+	privLoop, lastPriv := a.privatizationLoop(def)
 	if privLoop == nil {
 		a.record(def, m)
 		return m
@@ -49,12 +51,30 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 
 	rhsRepl := a.isRhsReplicated(st)
 
+	if lastPriv && rhsRepl {
+		// Replicating the definition costs nothing (its inputs are already
+		// on every processor), while lastprivate would spend a broadcast on
+		// the copy-out: keep it replicated.
+		m.PrivLoop = nil
+		a.record(def, m)
+		return m
+	}
+	// Uses past a lastprivate loop are served by the copy-out; they neither
+	// force replication nor act as consumers.
+	var skipOutside *ir.Loop
+	if lastPriv {
+		skipOutside = privLoop
+	}
+
 	if a.opts.Scalars == ScalarsProducerAligned {
 		// Correctness still forces replication for values needed on every
 		// processor (loop bounds, broadcast subscripts). The check must not
 		// recurse into consumer mappings (that would finalize later
 		// definitions before their own producers are resolved).
-		if _, forced := a.selectConsumerMode(def, false); forced {
+		if _, forced := a.selectConsumerMode(def, false, skipOutside); forced {
+			if lastPriv {
+				m.PrivLoop = nil
+			}
 			a.record(def, m)
 			return m
 		}
@@ -68,6 +88,7 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 				m.Target = prod
 				m.TargetIsConsumer = false
 				m.PrivLoop = lp
+				m.LastPrivate = lastPriv
 				m.Pattern = pat
 				a.record(def, m)
 				a.propagateToSiblings(def, m)
@@ -80,13 +101,16 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 		if rhsRepl && a.ssa.IsUniqueDef(def) {
 			a.noAlignExam = append(a.noAlignExam, def)
 		}
+		if lastPriv {
+			m.PrivLoop = nil
+		}
 		a.record(def, m)
 		return m
 	}
 
 	// --- Full §2.2 algorithm ---
 
-	consumer, forcedRepl := a.selectConsumer(def)
+	consumer, forcedRepl := a.selectConsumer(def, skipOutside)
 	m.SelectedConsumer = consumer
 	m.ForcedReplicated = forcedRepl
 	if forcedRepl {
@@ -94,6 +118,9 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 		// or broadcast subscript): the dummy replicated reference wins and
 		// the traversal is terminated. This also excludes privatization
 		// without alignment.
+		if lastPriv {
+			m.PrivLoop = nil
+		}
 		a.record(def, m)
 		return m
 	}
@@ -124,6 +151,7 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 			m.Target = target
 			m.TargetIsConsumer = targetIsConsumer
 			m.PrivLoop = lp
+			m.LastPrivate = lastPriv
 			m.Pattern = pat
 			a.record(def, m)
 			a.propagateToSiblings(def, m)
@@ -132,6 +160,9 @@ func (a *analyzer) determineScalar(def *ssa.Value) *ScalarMapping {
 			a.diagf(st.Pos(), "scalar-mapping", def.Var.Name,
 				"no loop level admits alignment with %s; falling back to replication", target)
 		}
+	}
+	if lastPriv {
+		m.PrivLoop = nil
 	}
 	a.record(def, m)
 	return m
@@ -172,29 +203,64 @@ func (a *analyzer) existingSiblingMapping(def *ssa.Value) *ScalarMapping {
 // privatizationLoop determines the loop with respect to which def is
 // privatizable: data-flow analysis first, then the NEW clause of an
 // enclosing INDEPENDENT/NODEPS loop (which asserts privatizability and makes
-// any seemingly-reached use outside that loop spurious).
-func (a *analyzer) privatizationLoop(def *ssa.Value) *ir.Loop {
+// any seemingly-reached use outside that loop spurious), then the autopriv
+// pass's inferred annotations. The second result marks a lastprivate
+// privatization: valid only with the final-iteration copy-out at loop exit.
+// Strict inference ignores NEW clauses.
+func (a *analyzer) privatizationLoop(def *ssa.Value) (*ir.Loop, bool) {
 	if _, l := dataflow.PrivatizationLevel(a.ssa, def); l != nil {
-		return l
+		return l, false
 	}
+	strict := a.opts.PrivatizationMode() == PrivInferStrict
 	for l := def.Stmt.Loop; l != nil; l = l.Parent {
-		for _, name := range l.New {
+		if !strict {
+			for _, name := range l.New {
+				if name == def.Var.Name {
+					return l, false
+				}
+			}
+		}
+		for _, name := range l.InferredNew {
 			if name == def.Var.Name {
-				return l
+				return l, false
 			}
 		}
 	}
-	return nil
+	for l := def.Stmt.Loop; l != nil; l = l.Parent {
+		for _, name := range l.InferredLast {
+			if name == def.Var.Name {
+				return l, true
+			}
+		}
+	}
+	return nil, false
 }
 
 // privatizableWrt reports whether def may be privatized with respect to l
-// (analysis or NEW assertion).
+// (analysis, NEW assertion unless strict inference, or inferred annotation).
+// A lastprivate annotation asserts privatizability only at exactly its loop
+// — the level where the copy-out happens.
 func (a *analyzer) privatizableWrt(def *ssa.Value, l *ir.Loop) bool {
 	if dataflow.Privatizable(a.ssa, def, l) {
 		return true
 	}
-	for _, name := range l.New {
-		if name == def.Var.Name && ir.Encloses(l, def.Stmt.Loop) {
+	if !ir.Encloses(l, def.Stmt.Loop) {
+		return false
+	}
+	if a.opts.PrivatizationMode() != PrivInferStrict {
+		for _, name := range l.New {
+			if name == def.Var.Name {
+				return true
+			}
+		}
+	}
+	for _, name := range l.InferredNew {
+		if name == def.Var.Name {
+			return true
+		}
+	}
+	for _, name := range l.InferredLast {
+		if name == def.Var.Name {
 			return true
 		}
 	}
@@ -258,6 +324,8 @@ func (a *analyzer) propagateToSiblings(def *ssa.Value, m *ScalarMapping) {
 			if a.res.Scalars[d] == nil {
 				sib := *m
 				sib.Def = d
+				// The copy-out belongs to def alone.
+				sib.LastPrivate = false
 				a.res.Scalars[d] = &sib
 			}
 		}
@@ -271,13 +339,15 @@ func (a *analyzer) propagateToSiblings(def *ssa.Value, m *ScalarMapping) {
 // alignment target. The second result is true when some use forces the
 // dummy replicated reference (the value is needed on all processors:
 // loop-bound uses and broadcast subscripts), terminating the traversal.
-func (a *analyzer) selectConsumer(def *ssa.Value) (*ir.Ref, bool) {
-	return a.selectConsumerMode(def, true)
+// skipOutside, when non-nil, excludes uses outside that loop from the
+// traversal (a lastprivate copy-out serves them).
+func (a *analyzer) selectConsumer(def *ssa.Value, skipOutside *ir.Loop) (*ir.Ref, bool) {
+	return a.selectConsumerMode(def, true, skipOutside)
 }
 
 // selectConsumerMode is selectConsumer with control over whether
 // privatizable-scalar consumers are resolved recursively.
-func (a *analyzer) selectConsumerMode(def *ssa.Value, resolve bool) (*ir.Ref, bool) {
+func (a *analyzer) selectConsumerMode(def *ssa.Value, resolve bool, skipOutside *ir.Loop) (*ir.Ref, bool) {
 	var best *ir.Ref
 	bestScore := -1
 	consider := func(cand *ir.Ref, use *ir.Ref) {
@@ -292,6 +362,9 @@ func (a *analyzer) selectConsumerMode(def *ssa.Value, resolve bool) (*ir.Ref, bo
 	for _, ru := range a.ssa.ReachedUses(def) {
 		u := ru.Ref
 		st := u.Stmt
+		if skipOutside != nil && !ir.Encloses(skipOutside, st.Loop) {
+			continue
+		}
 		switch {
 		case st.Kind == ir.SLoopBounds:
 			// Loop bounds must be evaluated by every processor.

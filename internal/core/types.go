@@ -49,6 +49,51 @@ func (s ScalarStrategy) String() string {
 	return "?"
 }
 
+// PrivMode selects where privatization facts come from.
+type PrivMode int
+
+const (
+	// PrivDirectives: privatization facts come only from directives (NEW
+	// clauses; NODEPS-implied candidates). The inference pass still runs
+	// and classifies, but inserts nothing — the paper's prototype behavior.
+	PrivDirectives PrivMode = iota
+	// PrivInfer: the autopriv pass additionally inserts every privatization
+	// it can prove (inferred NEW for arrays, lastprivate for scalars) and
+	// reports what it declined. Directives it already covers are respected,
+	// not re-derived. The default.
+	PrivInfer
+	// PrivInferStrict: inference is the only source of privatization facts;
+	// NEW clauses and NODEPS-implied candidates are ignored by the mapping
+	// pass (an oracle for how much the directives assert beyond what the
+	// analysis proves).
+	PrivInferStrict
+)
+
+func (m PrivMode) String() string {
+	switch m {
+	case PrivDirectives:
+		return "directives"
+	case PrivInfer:
+		return "infer"
+	case PrivInferStrict:
+		return "infer-strict"
+	}
+	return "?"
+}
+
+// ParsePrivMode parses the -privatize spellings.
+func ParsePrivMode(s string) (PrivMode, bool) {
+	switch s {
+	case "directives":
+		return PrivDirectives, true
+	case "infer":
+		return PrivInfer, true
+	case "infer-strict":
+		return PrivInferStrict, true
+	}
+	return PrivDirectives, false
+}
+
 // Options controls which optimizations the mapping pass applies.
 type Options struct {
 	Scalars ScalarStrategy
@@ -59,10 +104,14 @@ type Options struct {
 	AlignReductions bool
 	// PrivatizeArrays enables §3.1 array privatization from NEW clauses.
 	PrivatizeArrays bool
-	// AutoPrivatizeArrays additionally discovers privatizable arrays by
-	// data-flow analysis, without NEW clauses — the paper's stated future
-	// work ("we plan to integrate our mapping techniques with automatic
-	// array privatization"). Off by default, like the paper's prototype.
+	// Privatization selects where privatization facts come from; the zero
+	// value (PrivDirectives) reproduces the paper's directive-driven
+	// prototype, DefaultOptions selects PrivInfer.
+	Privatization PrivMode
+	// AutoPrivatizeArrays is the deprecated spelling of
+	// Privatization: PrivInfer, kept so existing option structs keep
+	// working; setting it while Privatization is PrivDirectives upgrades
+	// the effective mode to PrivInfer (see PrivatizationMode).
 	AutoPrivatizeArrays bool
 	// PartialPrivatization enables §3.2 (partition + privatize) when full
 	// privatization is invalid.
@@ -85,9 +134,18 @@ type Options struct {
 	// `go test`; opt in here for production runs.
 	Verify bool
 	// DumpAfter names a pipeline pass ("ir", "cfg", "ssa", "constprop",
-	// "induction", "mapping", "analyze") whose post-state snapshot is
-	// captured into Result.Profile.Dumps (empty: no snapshots).
+	// "induction", "autopriv", "mapping", "analyze") whose post-state
+	// snapshot is captured into Result.Profile.Dumps (empty: no snapshots).
 	DumpAfter string
+}
+
+// PrivatizationMode returns the effective privatization mode after applying
+// the deprecated AutoPrivatizeArrays shim.
+func (o Options) PrivatizationMode() PrivMode {
+	if o.Privatization == PrivDirectives && o.AutoPrivatizeArrays {
+		return PrivInfer
+	}
+	return o.Privatization
 }
 
 // DefaultOptions enables everything (the "selected alignment" compiler).
@@ -96,6 +154,7 @@ func DefaultOptions() Options {
 		Scalars:              ScalarsSelected,
 		AlignReductions:      true,
 		PrivatizeArrays:      true,
+		Privatization:        PrivInfer,
 		PartialPrivatization: true,
 		PrivatizeControlFlow: true,
 	}
@@ -144,6 +203,11 @@ type ScalarMapping struct {
 	TargetIsConsumer bool
 	// PrivLoop is the loop with respect to which the value is privatized.
 	PrivLoop *ir.Loop
+	// LastPrivate marks an inferred lastprivate privatization: the value is
+	// private within PrivLoop and the final iteration's value is copied out
+	// (broadcast from its owner) at loop exit for the uses that follow.
+	// Uses outside PrivLoop therefore see the value as replicated.
+	LastPrivate bool
 
 	// Red is the recognized reduction (ScalarReduction).
 	Red *dataflow.Reduction
@@ -177,6 +241,9 @@ func (m *ScalarMapping) String() string {
 	}
 	if m.PrivLoop != nil {
 		s += fmt.Sprintf(" wrt %s-loop", m.PrivLoop.Index.Name)
+	}
+	if m.LastPrivate {
+		s += " lastprivate"
 	}
 	return s
 }
@@ -259,6 +326,11 @@ type Result struct {
 	Inductions []*dataflow.Induction
 	Reductions []*dataflow.Reduction
 
+	// Priv is the autopriv pass's classification of every candidate
+	// (loop, variable) pair — what was privatized, what was declined and
+	// why (nil when Analyze was called directly, outside the pipeline).
+	Priv *dataflow.PrivSummary
+
 	// Diags lists the non-fatal problems the analyses degraded around
 	// (skipped directives, alignment fallbacks), with source positions.
 	Diags []Diagnostic
@@ -308,6 +380,10 @@ func (r *Result) RefPattern(ref *ir.Ref) dist.OwnerPattern {
 		m = r.Scalars[r.SSA.DefOf[ref.Stmt]]
 	} else {
 		m = r.UseMapping(ref)
+	}
+	if m != nil && m.LastPrivate && m.PrivLoop != nil && !ir.Encloses(m.PrivLoop, ref.Stmt.Loop) {
+		// Past the copy-out: every processor holds the final value.
+		return dist.ReplicatedPattern(g)
 	}
 	return r.ScalarPattern(m)
 }

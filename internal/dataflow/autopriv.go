@@ -1,59 +1,371 @@
 package dataflow
 
 import (
+	"fmt"
+
 	"phpf/internal/ast"
 	"phpf/internal/ir"
+	"phpf/internal/ssa"
 )
 
-// AutoPrivatizable describes an automatically discovered privatizable array
-// (the paper's stated future work: integrating the mapping techniques with
-// automatic array privatization in the style of Tu & Padua [18]).
-type AutoPrivatizable struct {
-	Var  *ir.Var
-	Loop *ir.Loop
+// This file implements the privatization classification analysis behind the
+// autopriv pipeline pass: for every (loop, variable-written-in-loop) pair it
+// decides private / lastprivate / serialized, recording the blocking
+// reference when privatization is declined (the Tu & Padua-style analysis
+// the paper names as future work, with intrepydd's serialize-with-reason
+// discipline).
+//
+// Scalars are classified on SSA def-use facts: a scalar is private with
+// respect to L when every use inside L is reached only by definitions
+// inside L (def-before-use on every iteration path) and no def→use pair
+// crosses L's back edge (no loop-carried flow). A scalar whose only failure
+// is being live after the loop is lastprivate when its final-iteration
+// value is well-defined (a single unconditional definition that is the
+// unique reaching definition of its uses); the mapping layer then emits a
+// copy-out at loop exit.
+//
+// Arrays are classified with the per-iteration region machinery below
+// (written regions covering read regions dimension-wise), with liveness
+// decided on the CFG: a read outside L blocks privatization only when its
+// block is reachable from L's exit — a read that can only execute before
+// the loop consumes the pre-loop value and is harmless.
+
+// PrivDecision is the per-(loop, variable) classification.
+type PrivDecision int
+
+const (
+	// PrivSerialized: not privatizable; the value stays shared and its
+	// cross-iteration (or cross-loop) flow serializes.
+	PrivSerialized PrivDecision = iota
+	// PrivPrivate: provably privatizable with respect to the loop.
+	PrivPrivate
+	// PrivLastPrivate: privatizable within the loop, with the final
+	// iteration's value live after it (scalars only; requires a copy-out).
+	PrivLastPrivate
+)
+
+func (d PrivDecision) String() string {
+	switch d {
+	case PrivPrivate:
+		return "private"
+	case PrivLastPrivate:
+		return "lastprivate"
+	case PrivSerialized:
+		return "serialized"
+	}
+	return "?"
 }
 
-// FindAutoPrivatizableArrays discovers arrays that are privatizable with
-// respect to a loop without a NEW directive: within each iteration of L,
-// every read of the array is covered by writes earlier in the same
-// iteration, and the values do not live past the loop.
-//
-// The implementation is a simplified array-section analysis:
-//
-//   - For each dimension, a written region is derived from the defining
-//     nest's bounds when the subscript is the nest's index (+/- a constant)
-//     or loop-invariant; regions are compared symbolically (bounds affine in
-//     indices of loops enclosing L).
-//   - A read is covered when some unguarded write that textually precedes it
-//     inside the same iteration covers its region dimension-wise. Reads in
-//     the same nest as the write are also covered when they trail the write
-//     by a constant negative offset in the nest's traversal order (the
-//     recurrence c(i, j-1) after a write to c(i, j)).
-//   - Liveness is approximated textually: any read of the array outside L
-//     anywhere in the program rejects privatization.
-func FindAutoPrivatizableArrays(p *ir.Program) []AutoPrivatizable {
-	var out []AutoPrivatizable
-	for _, L := range p.Loops {
-		// Candidates: arrays written inside L.
-		written := map[*ir.Var]bool{}
-		for _, st := range p.Stmts {
-			if st.Kind == ir.SAssign && st.Lhs.Var.IsArray() && ir.Encloses(L, st.Loop) {
-				written[st.Lhs.Var] = true
-			}
+// PrivClass is the classification of one variable with respect to one loop.
+type PrivClass struct {
+	Var      *ir.Var
+	Loop     *ir.Loop
+	Decision PrivDecision
+	// Directive records that an explicit NEW clause on Loop already asserts
+	// the privatization (the analysis result is then a cross-check).
+	Directive bool
+	// Inserted records that the autopriv pass materialized the decision as
+	// an inferred annotation on Loop.
+	Inserted bool
+	// Reason explains the decision in one clause; for PrivSerialized it
+	// names the blocking reference with its position.
+	Reason string
+	// Blocking is the reference that defeats privatization (PrivSerialized
+	// only; may be nil when the failure is structural).
+	Blocking *ir.Ref
+}
+
+func (c *PrivClass) String() string {
+	s := fmt.Sprintf("%s wrt %s-loop: %s", c.Var.Name, c.Loop.Index.Name, c.Decision)
+	if c.Reason != "" {
+		s += " (" + c.Reason + ")"
+	}
+	return s
+}
+
+// PrivSummary is the full classification of a program: one PrivClass per
+// (loop, candidate variable), in deterministic order (loop preorder, then
+// variable declaration order within a loop).
+type PrivSummary struct {
+	Classes []PrivClass
+}
+
+// Of returns the classification of v with respect to l (nil when v is not a
+// candidate for l).
+func (s *PrivSummary) Of(v *ir.Var, l *ir.Loop) *PrivClass {
+	for i := range s.Classes {
+		if s.Classes[i].Var == v && s.Classes[i].Loop == l {
+			return &s.Classes[i]
 		}
-		for _, v := range p.VarList {
-			if !written[v] {
-				continue
-			}
-			if arrayPrivatizableWrt(p, v, L) {
-				out = append(out, AutoPrivatizable{Var: v, Loop: L})
-			}
+	}
+	return nil
+}
+
+// ForLoop returns the classifications attached to one loop.
+func (s *PrivSummary) ForLoop(l *ir.Loop) []*PrivClass {
+	var out []*PrivClass
+	for i := range s.Classes {
+		if s.Classes[i].Loop == l {
+			out = append(out, &s.Classes[i])
 		}
 	}
 	return out
 }
 
-func arrayPrivatizableWrt(p *ir.Program, v *ir.Var, L *ir.Loop) bool {
+// ClassifyPrivatization classifies every candidate (loop, variable) pair of
+// the program. Candidates are variables written inside the loop, excluding
+// loop indices and recognized reduction accumulators (handled by the §2.3
+// reduction mapping); array candidates must additionally be read inside the
+// loop — privatizing a write-only array eliminates no communication under
+// owner-computes, so it is neither privatized nor reported as serialized.
+// cp may be nil; when present, constant-propagation facts sharpen the
+// lastprivate test by proving loops execute at least one iteration.
+func ClassifyPrivatization(p *ir.Program, g *ir.CFG, s *ssa.SSA, cp *ConstProp) *PrivSummary {
+	sum := &PrivSummary{}
+
+	// Reduction accumulators are outside this analysis.
+	redVar := map[*ir.Var]bool{}
+	if s != nil {
+		for _, red := range FindReductions(p, s) {
+			redVar[red.Var] = true
+		}
+	}
+
+	// stmt → CFG block, for the reachability liveness test.
+	blockOf := map[*ir.Stmt]*ir.Block{}
+	if g != nil {
+		for _, b := range g.Blocks {
+			for _, st := range b.Stmts {
+				blockOf[st] = b
+			}
+		}
+	}
+
+	for _, L := range p.Loops {
+		for _, v := range candidateVars(p, L, redVar) {
+			var c PrivClass
+			if v.IsArray() {
+				c = classifyArray(p, g, blockOf, v, L)
+			} else {
+				if s == nil {
+					continue
+				}
+				c = classifyScalar(p, g, s, cp, v, L)
+			}
+			for _, name := range L.New {
+				if name == v.Name {
+					c.Directive = true
+				}
+			}
+			sum.Classes = append(sum.Classes, c)
+		}
+	}
+	return sum
+}
+
+// candidateVars returns the classification candidates for L in declaration
+// order: non-index variables written inside L (arrays only when also read
+// inside L).
+func candidateVars(p *ir.Program, L *ir.Loop, exclude map[*ir.Var]bool) []*ir.Var {
+	written := map[*ir.Var]bool{}
+	for _, st := range p.Stmts {
+		if st.Kind == ir.SAssign && ir.Encloses(L, st.Loop) {
+			written[st.Lhs.Var] = true
+		}
+	}
+	readIn := map[*ir.Var]bool{}
+	for _, r := range p.Refs {
+		if !r.IsDef && ir.Encloses(L, r.Stmt.Loop) {
+			readIn[r.Var] = true
+		}
+	}
+	var out []*ir.Var
+	for _, v := range p.VarList {
+		if !written[v] || v.IsLoopIndex || exclude[v] {
+			continue
+		}
+		if v.IsArray() && !readIn[v] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// refAt renders a reference with its source position for diagnostics.
+func refAt(r *ir.Ref) string {
+	if r == nil {
+		return "?"
+	}
+	return fmt.Sprintf("%s at %d:%d", r, r.Stmt.Line, r.Stmt.Col)
+}
+
+// classifyScalar classifies scalar v with respect to L on SSA facts.
+func classifyScalar(p *ir.Program, g *ir.CFG, s *ssa.SSA, cp *ConstProp, v *ir.Var, L *ir.Loop) PrivClass {
+	c := PrivClass{Var: v, Loop: L}
+
+	var defs []*ssa.Value
+	for _, st := range p.Stmts {
+		if st.Kind != ir.SAssign || st.Lhs.Var != v || !ir.Encloses(L, st.Loop) {
+			continue
+		}
+		if d := s.DefOf[st]; d != nil {
+			defs = append(defs, d)
+		}
+	}
+
+	// Def-before-use on every iteration path: a read inside L reached by a
+	// definition from outside the loop (or the implicit initial value) is
+	// upward-exposed — a fresh private copy would not hold that value.
+	for _, r := range p.Refs {
+		if r.IsDef || r.Var != v || !ir.Encloses(L, r.Stmt.Loop) {
+			continue
+		}
+		for _, d := range s.ReachingDefs(r) {
+			if d.Kind != ssa.VDef || !ir.Encloses(L, d.Stmt.Loop) {
+				c.Decision = PrivSerialized
+				c.Blocking = r
+				c.Reason = fmt.Sprintf("serialized because %s may read the value live on entry to the loop", refAt(r))
+				return c
+			}
+		}
+	}
+
+	// No loop-carried flow: no def→use pair may cross L's back edge.
+	var liveOutUse *ir.Ref
+	for _, d := range defs {
+		for _, ru := range s.ReachedUses(d) {
+			if !ir.Encloses(L, ru.Ref.Stmt.Loop) {
+				if liveOutUse == nil {
+					liveOutUse = ru.Ref
+				}
+				continue
+			}
+			if ru.CrossesBackOf[L] {
+				c.Decision = PrivSerialized
+				c.Blocking = ru.Ref
+				c.Reason = fmt.Sprintf("serialized because %s reads the value defined in an earlier iteration", refAt(ru.Ref))
+				return c
+			}
+		}
+	}
+
+	if liveOutUse == nil {
+		c.Decision = PrivPrivate
+		c.Reason = "every use is reached only by same-iteration definitions"
+		return c
+	}
+
+	// Live after the loop: lastprivate when the final-iteration value is
+	// well-defined — a single unconditional definition that is the unique
+	// reaching definition of everything it reaches. A possibly-zero-trip
+	// loop leaves the pre-loop value reaching the post-loop use, which
+	// IsUniqueDef rejects; constant bounds proving at least one trip make
+	// that pre-loop value dead, so the weaker finalValueGuaranteed test
+	// accepts it.
+	if len(defs) == 1 && len(defs[0].Stmt.EnclosingIfs) == 0 &&
+		(s.IsUniqueDef(defs[0]) || finalValueGuaranteed(g, s, cp, defs[0], L)) {
+		c.Decision = PrivLastPrivate
+		c.Reason = fmt.Sprintf("final iteration's value is read by %s; copy-out at loop exit", refAt(liveOutUse))
+		return c
+	}
+	c.Decision = PrivSerialized
+	c.Blocking = liveOutUse
+	c.Reason = fmt.Sprintf("serialized because %s reads the value after the loop and the final-iteration copy-out is unprovable (conditional or multiple definitions)", refAt(liveOutUse))
+	return c
+}
+
+// finalValueGuaranteed reports whether def — the sole in-loop definition of
+// its variable — is certain to have executed by the time L exits, so the
+// value the loop leaves behind is def's final-iteration value and any
+// pre-loop definitions still reaching the post-loop uses are dead. This is
+// the zero-trip refinement of IsUniqueDef: it requires
+//
+//   - a provably positive trip count for every loop from def's own loop up
+//     to L (constant bounds evaluated with constant propagation),
+//   - def's block to dominate every back edge of L (def runs on every
+//     complete iteration, even in the presence of GOTOs),
+//   - L to exit only through its header (no jump can leave mid-iteration),
+//   - every other definition reaching def's reached uses to come from
+//     outside L (those are exactly the dead pre-loop values).
+func finalValueGuaranteed(g *ir.CFG, s *ssa.SSA, cp *ConstProp, def *ssa.Value, L *ir.Loop) bool {
+	if g == nil || cp == nil || def.Stmt == nil {
+		return false
+	}
+	for l := def.Stmt.Loop; l != nil; l = l.Parent {
+		if !tripAtLeastOnce(cp, l) {
+			return false
+		}
+		if l == L {
+			break
+		}
+	}
+	header, exit := g.HeaderOf[L], g.ExitOf[L]
+	if header == nil || exit == nil {
+		return false
+	}
+	for _, pr := range exit.Preds {
+		if pr != header && pr.Loop != nil && ir.Encloses(L, pr.Loop) {
+			return false // irregular exit from inside the loop body
+		}
+	}
+	latches := 0
+	for _, pr := range header.Preds {
+		if pr.Loop == nil || !ir.Encloses(L, pr.Loop) {
+			continue // preheader edge
+		}
+		latches++
+		if !s.Dom.Dominates(def.Block, pr) {
+			return false
+		}
+	}
+	if latches == 0 {
+		return false
+	}
+	for _, ru := range s.ReachedUses(def) {
+		for _, d := range s.ReachingDefs(ru.Ref) {
+			if d != def && d.Kind == ssa.VDef && ir.Encloses(L, d.Stmt.Loop) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tripAtLeastOnce reports whether l provably executes its body at least once:
+// its bounds and step evaluate to integer constants and span a non-empty
+// range. Parameter-only bounds fold directly (BoundsStmt is nil then);
+// bounds referencing tracked scalars are evaluated with the constants known
+// at the loop's bounds pseudo-statement.
+func tripAtLeastOnce(cp *ConstProp, l *ir.Loop) bool {
+	if cp == nil {
+		return false
+	}
+	lo, okLo := cp.evalExpr(l.Lo, l.BoundsStmt)
+	hi, okHi := cp.evalExpr(l.Hi, l.BoundsStmt)
+	if !okLo || !okHi || !lo.IsInt || !hi.IsInt {
+		return false
+	}
+	step := int64(1)
+	if l.Step != nil {
+		sc, ok := cp.evalExpr(l.Step, l.BoundsStmt)
+		if !ok || !sc.IsInt || sc.I == 0 {
+			return false
+		}
+		step = sc.I
+	}
+	if step > 0 {
+		return lo.I <= hi.I
+	}
+	return lo.I >= hi.I
+}
+
+// classifyArray classifies array v with respect to L: every read inside L
+// must be covered by writes earlier in the same iteration, and no read
+// reachable after the loop may consume values written in it.
+func classifyArray(p *ir.Program, g *ir.CFG, blockOf map[*ir.Stmt]*ir.Block, v *ir.Var, L *ir.Loop) PrivClass {
+	c := PrivClass{Var: v, Loop: L}
+
 	var writes []*ir.Ref
 	for _, st := range p.Stmts {
 		if st.Kind != ir.SAssign || st.Lhs.Var != v {
@@ -65,21 +377,89 @@ func arrayPrivatizableWrt(p *ir.Program, v *ir.Var, L *ir.Loop) bool {
 		}
 		writes = append(writes, st.Lhs)
 	}
-	if len(writes) == 0 {
-		return false
-	}
+
 	for _, r := range p.Refs {
 		if r.IsDef || r.Var != v {
 			continue
 		}
 		if !ir.Encloses(L, r.Stmt.Loop) {
-			return false // value read after (or before) the loop: live-out
+			if readsAfterLoop(g, blockOf, r, L) {
+				c.Decision = PrivSerialized
+				c.Blocking = r
+				c.Reason = fmt.Sprintf("serialized because %s reads the array after the loop", refAt(r))
+				return c
+			}
+			continue // only reachable before the loop: pre-loop value, harmless
 		}
 		if !readCovered(r, writes, L) {
-			return false // upward-exposed read
+			c.Decision = PrivSerialized
+			c.Blocking = r
+			c.Reason = fmt.Sprintf("serialized because %s is not covered by writes earlier in the iteration", refAt(r))
+			return c
 		}
 	}
-	return true
+	c.Decision = PrivPrivate
+	c.Reason = "every read is covered by same-iteration writes and no value lives past the loop"
+	return c
+}
+
+// readsAfterLoop reports whether the read (outside L) can execute after L
+// completes: its block is reachable from L's exit block on the CFG. Without
+// a CFG the answer is conservatively true.
+func readsAfterLoop(g *ir.CFG, blockOf map[*ir.Stmt]*ir.Block, r *ir.Ref, L *ir.Loop) bool {
+	if g == nil {
+		return true
+	}
+	exit := g.ExitOf[L]
+	target := blockOf[r.Stmt]
+	if exit == nil || target == nil {
+		return true
+	}
+	seen := map[*ir.Block]bool{}
+	work := []*ir.Block{exit}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == target {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		work = append(work, b.Succs...)
+	}
+	return false
+}
+
+// AutoPrivatizable describes an automatically discovered privatizable array
+// (the paper's stated future work: integrating the mapping techniques with
+// automatic array privatization in the style of Tu & Padua [18]).
+type AutoPrivatizable struct {
+	Var  *ir.Var
+	Loop *ir.Loop
+}
+
+// FindAutoPrivatizableArrays discovers arrays that are privatizable with
+// respect to a loop without a NEW directive. It is the array projection of
+// ClassifyPrivatization, kept for callers that have only an IR program (the
+// CFG and SSA facts are built internally).
+func FindAutoPrivatizableArrays(p *ir.Program) []AutoPrivatizable {
+	var g *ir.CFG
+	var s *ssa.SSA
+	var cp *ConstProp
+	if cfg, err := ir.BuildCFG(p); err == nil {
+		g = cfg
+		s = ssa.Build(p, g)
+		cp = PropagateConstants(s)
+	}
+	var out []AutoPrivatizable
+	for _, c := range ClassifyPrivatization(p, g, s, cp).Classes {
+		if c.Var.IsArray() && c.Decision == PrivPrivate {
+			out = append(out, AutoPrivatizable{Var: c.Var, Loop: c.Loop})
+		}
+	}
+	return out
 }
 
 // readCovered reports whether some write covers the read within one

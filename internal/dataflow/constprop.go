@@ -117,7 +117,7 @@ func (cp *ConstProp) evalExpr(e ast.Expr, stmt *ir.Stmt) (Const, bool) {
 	case *ast.RealConst:
 		return Const{F: x.Value}, true
 	case *ast.Ref:
-		if len(x.Subs) > 0 {
+		if stmt == nil || len(x.Subs) > 0 {
 			return Const{}, false
 		}
 		// Find the matching use reference on the statement.

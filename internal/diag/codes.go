@@ -32,6 +32,11 @@ const (
 	// CodeScalarFallback: a scalar alignment candidate was rejected and the
 	// definition fell back to replication.
 	CodeScalarFallback = "W102"
+	// CodeSerialized: the privatization inference pass declined to
+	// privatize a variable written inside a loop; the value stays shared
+	// (replicated), serializing its cross-iteration or cross-loop flow.
+	// The message names the blocking reference with its position.
+	CodeSerialized = "W103"
 
 	// CodeInnerComm: a communication requirement could not be vectorized
 	// and executes per statement instance.
@@ -39,4 +44,12 @@ const (
 	// CodeNoVectorize: message vectorization disabled by options; every
 	// communication stays at its statement.
 	CodeNoVectorize = "I202"
+	// CodeInferredPrivate: the privatization inference pass proved a
+	// variable privatizable with respect to a loop without a NEW clause
+	// and inserted the equivalent annotation.
+	CodeInferredPrivate = "I203"
+	// CodeLastPrivate: the inference pass classified a scalar as
+	// lastprivate — privatizable within the loop with its final-iteration
+	// value copied out at loop exit for the uses that follow.
+	CodeLastPrivate = "I204"
 )

@@ -202,6 +202,7 @@ const (
 	tagCkpt         = -6 // member -> coordinator checkpoint barrier
 	tagCkptRelease  = -7 // coordinator -> member checkpoint release
 	tagRefetch      = -8 // survivor -> restarted recovery refetch
+	tagCopyOut      = -9 // lastprivate final-value broadcast, root -> member
 )
 
 type executor struct {
@@ -929,10 +930,12 @@ func (w *worker) vectorizedComm(req *comm.Requirement, op eval.VectorizedOp) err
 	return nil
 }
 
-// LoopExit performs the global reduction combines that run after the loop:
+// LoopExit performs the global reduction combines that run after the loop —
 // a star gather to a deterministic root and a result broadcast back, with
 // the partial values compared bitwise (replicated execution makes every
-// partial the full value, so they must all agree).
+// partial the full value, so they must all agree) — then the lastprivate
+// copy-outs: the final iteration's owner broadcasts its value and every
+// receiver verifies bitwise agreement.
 func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 	if err := w.flushBatch(); err != nil {
 		return err
@@ -984,6 +987,56 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 			if got.hasVal && got.bits != bits {
 				return &DivergenceError{Proc: w.proc, Peer: root, What: what,
 					Got: math.Float64frombits(got.bits), Want: w.st.Scalar(m.Def.Var)}
+			}
+		}
+		w.clearAttr()
+	}
+	for _, m := range lp.CopyOuts {
+		// The walker leaves the loop index at its final executed value, so
+		// the pattern's owners are the final iteration's owners. Replicated
+		// execution means every worker already holds the value; the real
+		// broadcast verifies bitwise agreement with the owner.
+		src := w.st.PatternSet(m.Pattern, nil)
+		all := dist.AllProcs(w.st.Grid())
+		if src.Count() == all.Count() {
+			continue // degenerate alignment: already everywhere
+		}
+		root := src.First()
+		if w.charges() {
+			w.mach.Multicast(root, all, w.elemBytes())
+		}
+		what := "copy-out " + m.Def.Var.Name
+		bits := math.Float64bits(w.st.Scalar(m.Def.Var))
+		if w.traces() && m.Def.Stmt != nil {
+			// Protocol-tagged traffic is invisible to traceSend/recv, so the
+			// events are emitted manually — one Send per destination at the
+			// root, one Recv per receiver, structurally identical to
+			// machine.Multicast's emission.
+			w.setAttr(m.Def.Stmt.ID, dist.CommBcast, w.elemBytes())
+		}
+		if w.proc == root {
+			for _, p := range all.Procs() {
+				if p == root {
+					continue
+				}
+				if err := w.send(p, message{req: tagCopyOut, hasVal: true, bits: bits}, what); err != nil {
+					return err
+				}
+				if w.traces() {
+					w.emit(trace.Send, p, 0, w.elemBytes(), -1)
+				}
+			}
+		} else {
+			got, err := w.recv(root, tagCopyOut, what)
+			if err != nil {
+				return err
+			}
+			if got.hasVal && got.bits != bits {
+				return &DivergenceError{Proc: w.proc, Peer: root, What: what,
+					Got: math.Float64frombits(got.bits), Want: w.st.Scalar(m.Def.Var)}
+			}
+			if w.traces() {
+				w.emit(trace.Recv, root, 0, w.elemBytes(), -1)
 			}
 		}
 		w.clearAttr()

@@ -66,6 +66,15 @@ type Loop struct {
 	NoDeps      bool
 	New         []string // NEW clause variables (privatizable wrt this loop)
 
+	// InferredNew lists variables the autopriv pass proved privatizable
+	// with respect to this loop (no directive required); InferredLast
+	// lists scalars it proved lastprivate — privatizable within the loop
+	// with the final iteration's value live after it, requiring a
+	// copy-out at loop exit. Both are recomputed from scratch on every
+	// run of the pass.
+	InferredNew  []string
+	InferredLast []string
+
 	// BoundsStmt is a pseudo-statement (Kind SLoopBounds) carrying the
 	// uses of scalar variables appearing in the loop bounds; it executes
 	// in the loop's preheader. Nil when the bounds reference no tracked

@@ -1,0 +1,188 @@
+package pass
+
+import (
+	"fmt"
+
+	"phpf/internal/dataflow"
+	"phpf/internal/diag"
+	"phpf/internal/ir"
+)
+
+// AutoPriv is the privatization inference pass (FactAutoPriv): it classifies
+// every variable written inside a loop as private / lastprivate / serialized
+// on the CFG and SSA facts (dataflow.ClassifyPrivatization) and — when
+// insert is set — materializes the provable decisions as inferred-NEW /
+// lastprivate annotations on the loops, equivalent to what a NEW clause
+// would have asserted, before the mapping pass consumes them.
+//
+// Insertion picks the outermost loop per variable where the decision holds;
+// decisions already covered by an ancestor's insertion (or, unless strict,
+// by an explicit NEW clause) are skipped. Scalars classified plain-private
+// are not annotated: the mapping pass proves those itself from the same SSA
+// facts, so an annotation would be redundant. Every variable the pass
+// declines to privatize anywhere along its write's loop chain gets a W-coded
+// serialized-with-reason diagnostic naming the blocking reference.
+//
+// strict makes inference the only source of privatization facts: explicit
+// NEW clauses neither suppress insertion nor exempt a variable from the
+// serialized diagnostic (the mapping pass independently ignores them).
+func AutoPriv(insert, strict bool) Pass {
+	return &Funcs{
+		PassName: "autopriv",
+		Needs:    []Fact{FactIR, FactCFG, FactSSA, FactConsts},
+		Makes:    []Fact{FactAutoPriv},
+		RunFunc: func(u *Unit) error {
+			// Re-runs must be idempotent: annotations are recomputed from
+			// scratch, never accumulated.
+			for _, l := range u.Prog.Loops {
+				l.InferredNew, l.InferredLast = nil, nil
+			}
+			sum := dataflow.ClassifyPrivatization(u.Prog, u.CFG, u.SSA, u.Consts)
+			u.AutoPriv = sum
+			if !insert {
+				return nil
+			}
+			runAutoPrivInsert(u, sum, strict)
+			return nil
+		},
+	}
+}
+
+func runAutoPrivInsert(u *Unit, sum *dataflow.PrivSummary, strict bool) {
+	p := u.Prog
+
+	// satisfied[v] lists the loops with respect to which v's privatization
+	// is established (inserted, analysis-provable, or directive-asserted).
+	satisfied := map[*ir.Var][]*ir.Loop{}
+	coveredAt := func(v *ir.Var, l *ir.Loop) bool {
+		for _, sl := range satisfied[v] {
+			for cur := l; cur != nil; cur = cur.Parent {
+				if cur == sl {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Classes are in loop preorder, so an outer loop's decision is always
+	// processed before its descendants'.
+	for i := range sum.Classes {
+		c := &sum.Classes[i]
+		if c.Decision == dataflow.PrivSerialized || coveredAt(c.Var, c.Loop) {
+			continue
+		}
+		if !strict && directiveCovers(p, c.Var) {
+			satisfied[c.Var] = append(satisfied[c.Var], c.Loop)
+			continue
+		}
+		switch {
+		case c.Decision == dataflow.PrivPrivate && c.Var.IsArray():
+			c.Loop.InferredNew = append(c.Loop.InferredNew, c.Var.Name)
+			c.Inserted = true
+			u.Diag(diag.Diagnostic{
+				Severity: diag.Info, Stage: "autopriv", Code: diag.CodeInferredPrivate,
+				Subject: c.Var.Name, Pos: diag.Pos{Line: c.Loop.Line},
+				Msg: fmt.Sprintf("array %s inferred private with respect to the %s-loop (no NEW clause needed): %s",
+					c.Var.Name, c.Loop.Index.Name, c.Reason),
+			})
+		case c.Decision == dataflow.PrivLastPrivate:
+			c.Loop.InferredLast = append(c.Loop.InferredLast, c.Var.Name)
+			c.Inserted = true
+			u.Diag(diag.Diagnostic{
+				Severity: diag.Info, Stage: "autopriv", Code: diag.CodeLastPrivate,
+				Subject: c.Var.Name, Pos: diag.Pos{Line: c.Loop.Line},
+				Msg: fmt.Sprintf("scalar %s inferred lastprivate with respect to the %s-loop: %s",
+					c.Var.Name, c.Loop.Index.Name, c.Reason),
+			})
+		}
+		// Plain-private scalars: provable by the mapping pass from the
+		// same SSA facts; established without an annotation.
+		satisfied[c.Var] = append(satisfied[c.Var], c.Loop)
+	}
+
+	// Serialized-with-reason diagnostics: one per variable whose writes sit
+	// under loops where no level of the enclosing chain privatized it.
+	warned := map[*ir.Var]bool{}
+	for _, st := range p.Stmts {
+		if st.Kind != ir.SAssign || st.Loop == nil {
+			continue
+		}
+		v := st.Lhs.Var
+		if warned[v] || v.IsLoopIndex {
+			continue
+		}
+		if !strict && directiveCovers(p, v) {
+			continue
+		}
+		var cls *dataflow.PrivClass
+		sat := false
+		for l := st.Loop; l != nil; l = l.Parent {
+			if coveredAt(v, l) {
+				sat = true
+				break
+			}
+			if cc := sum.Of(v, l); cc != nil && cls == nil {
+				cls = cc // innermost candidate level: most precise reason
+			}
+		}
+		if sat || cls == nil {
+			continue
+		}
+		warned[v] = true
+		pos := diag.Pos{Line: st.Line, Col: st.Col}
+		if cls.Blocking != nil {
+			pos = diag.Pos{Line: cls.Blocking.Stmt.Line, Col: cls.Blocking.Stmt.Col}
+		}
+		u.Diag(diag.Diagnostic{
+			Severity: diag.Warning, Stage: "autopriv", Code: diag.CodeSerialized,
+			Subject: v.Name, Pos: pos,
+			Msg: fmt.Sprintf("%s %s with respect to the %s-loop",
+				kindWord(v), cls.Reason, cls.Loop.Index.Name),
+		})
+	}
+}
+
+// directiveCovers reports whether an explicit directive already asserts
+// privatization of v: a NEW clause naming it, or a NODEPS loop whose body
+// writes it with loop-invariant subscripts (the §3.1 implied candidate set).
+func directiveCovers(p *ir.Program, v *ir.Var) bool {
+	for _, l := range p.Loops {
+		for _, name := range l.New {
+			if name == v.Name {
+				return true
+			}
+		}
+	}
+	if !v.IsArray() {
+		return false
+	}
+	for _, st := range p.Stmts {
+		if st.Kind != ir.SAssign || st.Lhs.Var != v || st.Loop == nil {
+			continue
+		}
+		for l := st.Loop; l != nil; l = l.Parent {
+			if !l.NoDeps {
+				continue
+			}
+			invariant := true
+			for _, sub := range st.Lhs.Subs {
+				if sub.VariesIn(l) || !sub.OK {
+					invariant = false
+					break
+				}
+			}
+			if invariant {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func kindWord(v *ir.Var) string {
+	if v.IsArray() {
+		return "array " + v.Name
+	}
+	return "scalar " + v.Name
+}

@@ -38,6 +38,10 @@ const (
 	FactConsts
 	// FactMapping: Unit.Mapping, resolved distribution directives.
 	FactMapping
+	// FactAutoPriv: Unit.AutoPriv, the privatization classification (and
+	// the inferred-NEW/lastprivate loop annotations the autopriv pass
+	// inserts from it).
+	FactAutoPriv
 
 	numFacts
 )
@@ -54,6 +58,8 @@ func (f Fact) String() string {
 		return "consts"
 	case FactMapping:
 		return "mapping"
+	case FactAutoPriv:
+		return "autopriv"
 	}
 	return fmt.Sprintf("fact(%d)", int(f))
 }
@@ -61,9 +67,10 @@ func (f Fact) String() string {
 // derived[f] lists the facts computed directly from f; invalidating f
 // transitively invalidates them.
 var derived = map[Fact][]Fact{
-	FactIR:  {FactCFG, FactMapping},
-	FactCFG: {FactSSA},
-	FactSSA: {FactConsts},
+	FactIR:     {FactCFG, FactMapping},
+	FactCFG:    {FactSSA},
+	FactSSA:    {FactConsts, FactAutoPriv},
+	FactConsts: {FactAutoPriv},
 }
 
 // Unit is the shared compilation state threaded through the pipeline. Passes
@@ -84,6 +91,7 @@ type Unit struct {
 	Consts     *dataflow.ConstProp
 	Mapping    *dist.Mapping
 	Inductions []*dataflow.Induction
+	AutoPriv   *dataflow.PrivSummary
 
 	// Diags accumulates the non-fatal diagnostics every pass emitted, in
 	// emission order.

@@ -3,6 +3,7 @@ package pass
 import (
 	"fmt"
 
+	"phpf/internal/dataflow"
 	"phpf/internal/ir"
 	"phpf/internal/ssa"
 )
@@ -34,6 +35,9 @@ func VerifyUnit(u *Unit) []error {
 	}
 	if u.Valid(FactMapping) && u.Mapping != nil {
 		verifyMapping(u, bad)
+	}
+	if u.Valid(FactAutoPriv) && u.AutoPriv != nil {
+		verifyAutoPriv(u, bad)
 	}
 	return errs
 }
@@ -173,6 +177,56 @@ func verifySSA(u *Unit, bad func(string, ...interface{})) {
 		if def.Kind == ssa.VDef && posInBlock[def.Stmt] >= posInBlock[use.Stmt] {
 			bad("ssa: definition %s does not precede same-block use %s", def, use)
 		}
+	}
+}
+
+func verifyAutoPriv(u *Unit, bad func(string, ...interface{})) {
+	p := u.Prog
+	writtenIn := func(v *ir.Var, l *ir.Loop) bool {
+		for _, st := range p.Stmts {
+			if st.Kind == ir.SAssign && st.Lhs.Var == v && ir.Encloses(l, st.Loop) {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(l *ir.Loop, names []string, kind string, want dataflow.PrivDecision) {
+		seen := map[string]bool{}
+		for _, name := range names {
+			if seen[name] {
+				bad("autopriv: %s-loop lists %s twice in inferred %s", l.Index.Name, name, kind)
+			}
+			seen[name] = true
+			v := p.LookupVar(name)
+			if v == nil {
+				bad("autopriv: %s-loop inferred %s names unknown variable %s", l.Index.Name, kind, name)
+				continue
+			}
+			if v.IsLoopIndex {
+				bad("autopriv: %s-loop inferred %s names loop index %s", l.Index.Name, kind, name)
+			}
+			if kind == "lastprivate" && v.IsArray() {
+				bad("autopriv: %s-loop inferred lastprivate names array %s (scalars only)", l.Index.Name, name)
+			}
+			if !writtenIn(v, l) {
+				bad("autopriv: %s-loop inferred %s names %s, which the loop never writes", l.Index.Name, kind, name)
+			}
+			c := u.AutoPriv.Of(v, l)
+			if c == nil {
+				bad("autopriv: %s-loop inferred %s for %s has no classification backing it", l.Index.Name, kind, name)
+				continue
+			}
+			if c.Decision != want {
+				bad("autopriv: %s-loop inferred %s for %s, but its classification is %s", l.Index.Name, kind, name, c.Decision)
+			}
+			if !c.Inserted {
+				bad("autopriv: %s-loop inferred %s for %s not marked Inserted in the summary", l.Index.Name, kind, name)
+			}
+		}
+	}
+	for _, l := range p.Loops {
+		check(l, l.InferredNew, "new", dataflow.PrivPrivate)
+		check(l, l.InferredLast, "lastprivate", dataflow.PrivLastPrivate)
 	}
 }
 

@@ -1,5 +1,7 @@
 package programs
 
+import "strings"
+
 // Figure1 is the paper's §2.1 example: the four scalar mapping flavors
 // (induction variable m, consumer-aligned x, producer-aligned y, and
 // privatized-without-alignment z).
@@ -142,3 +144,35 @@ var Figures = map[string]string{
 	"figure6": Figure6,
 	"figure7": Figure7,
 }
+
+// StripPrivatization returns src with every privatization directive removed:
+// INDEPENDENT/NODEPS loop-directive lines (and the NEW clauses riding on
+// them) are dropped. Data-mapping directives — ALIGN, DISTRIBUTE,
+// REDISTRIBUTE — stay: layout is an input to the compiler, privatization a
+// fact the autopriv pass must rediscover on its own.
+func StripPrivatization(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.ToLower(strings.TrimSpace(line))
+		if rest, ok := strings.CutPrefix(t, "!hpf$"); ok {
+			rest = strings.TrimSpace(rest)
+			if strings.HasPrefix(rest, "independent") || strings.HasPrefix(rest, "nodeps") {
+				continue
+			}
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
+// FiguresUnannotated maps each figure name to its directive-stripped source:
+// the programs the paper's programmer annotated by hand, with every
+// privatization assertion removed so only inference can parallelize them.
+var FiguresUnannotated = func() map[string]string {
+	out := make(map[string]string, len(Figures))
+	for name, src := range Figures {
+		out[name] = StripPrivatization(src)
+	}
+	return out
+}()

@@ -30,6 +30,9 @@ type RunSpec struct {
 	// Opt is the optimization level: "naive", "producer", or "selected"
 	// (default).
 	Opt string `json:"opt,omitempty"`
+	// Privatize selects where privatization facts come from: "directives",
+	// "infer" (default), or "infer-strict".
+	Privatize string `json:"privatize,omitempty"`
 	// Backend selects the execution backend for /v1/run: "sim" (default)
 	// or "concurrent". /v1/diff always runs both.
 	Backend string `json:"backend,omitempty"`
@@ -106,17 +109,27 @@ func (spec *RunSpec) resolveSource(maxSourceBytes int64) (string, error) {
 	return "", badRequest("empty program: set source or figure")
 }
 
-// options maps the Opt field to a compiler option set.
+// options maps the Opt and Privatize fields to a compiler option set.
 func (spec *RunSpec) options() (phpf.Options, error) {
+	var opts phpf.Options
 	switch spec.Opt {
 	case "", "selected":
-		return phpf.SelectedOptions(), nil
+		opts = phpf.SelectedOptions()
 	case "producer":
-		return phpf.ProducerOptions(), nil
+		opts = phpf.ProducerOptions()
 	case "naive":
-		return phpf.NaiveOptions(), nil
+		opts = phpf.NaiveOptions()
+	default:
+		return phpf.Options{}, badRequest("unknown opt %q (want naive, producer, or selected)", spec.Opt)
 	}
-	return phpf.Options{}, badRequest("unknown opt %q (want naive, producer, or selected)", spec.Opt)
+	if spec.Privatize != "" {
+		mode, ok := phpf.ParsePrivMode(spec.Privatize)
+		if !ok {
+			return phpf.Options{}, badRequest("unknown privatize %q (want directives, infer, or infer-strict)", spec.Privatize)
+		}
+		opts.Privatization = mode
+	}
+	return opts, nil
 }
 
 // validated is a fully checked request: the resolved program source, cache

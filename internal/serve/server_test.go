@@ -89,6 +89,18 @@ func TestServeHappyPaths(t *testing.T) {
 		t.Fatalf("repeat run X-Cache = %q, want hit", got)
 	}
 
+	// Privatization modes are accepted and keyed separately: a
+	// directives-only run of the same program must miss the cache the
+	// infer-mode run just filled.
+	dirSpec := fmt.Sprintf(`{"source":%q,"procs":4,"privatize":"directives"}`, phpf.SmoothSource(16, 1))
+	resp, body = postJSON(t, ts.URL+"/v1/run", dirSpec, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("run(privatize=directives): %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("privatize=directives X-Cache = %q, want miss (mode must be part of the cache key)", got)
+	}
+
 	// Diff: both backends agree on the smooth kernel.
 	resp, body = postJSON(t, ts.URL+"/v1/diff", spec, nil)
 	if resp.StatusCode != 200 {
@@ -136,6 +148,7 @@ func TestServeRejections(t *testing.T) {
 		{"zero procs", `{"figure":"figure1","procs":0}`, 400, diag.CodeConfig},
 		{"absurd procs", `{"figure":"figure1","procs":4096}`, 400, diag.CodeConfig},
 		{"unknown opt", `{"figure":"figure1","procs":4,"opt":"O3"}`, 400, diag.CodeConfig},
+		{"unknown privatize", `{"figure":"figure1","procs":4,"privatize":"auto"}`, 400, diag.CodeConfig},
 		{"unknown backend", `{"figure":"figure1","procs":4,"backend":"gpu"}`, 400, diag.CodeConfig},
 		{"negative timeout", `{"figure":"figure1","procs":4,"timeout_ms":-1}`, 400, diag.CodeConfig},
 		{"huge timeout", `{"figure":"figure1","procs":4,"timeout_ms":86400000}`, 400, diag.CodeConfig},

@@ -335,7 +335,9 @@ func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 	return nil
 }
 
-// LoopExit charges the global reduction combines that run after the loop.
+// LoopExit charges the global reduction combines that run after the loop,
+// then the lastprivate copy-outs: the owner of the final iteration's value
+// broadcasts it, after which the scalar is replicated again.
 func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 	for _, m := range lp.Combines {
 		set := in.st.PatternSet(m.Pattern, nil)
@@ -345,6 +347,21 @@ func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 		}
 		in.mach.SetAttr(stmt, -1, dist.CommNone)
 		in.mach.Reduce(set, int64(in.cfg.Params.ElemBytes))
+	}
+	for _, m := range lp.CopyOuts {
+		// The walker leaves the loop index at its final executed value, so
+		// the pattern's owners are the final iteration's owners.
+		src := in.st.PatternSet(m.Pattern, nil)
+		all := dist.AllProcs(in.st.Grid())
+		if src.Count() == all.Count() {
+			continue // degenerate alignment: already everywhere
+		}
+		stmt := -1
+		if m.Def != nil && m.Def.Stmt != nil {
+			stmt = m.Def.Stmt.ID
+		}
+		in.mach.SetAttr(stmt, -1, dist.CommBcast)
+		in.mach.Multicast(src.First(), all, int64(in.cfg.Params.ElemBytes))
 	}
 	in.mach.ClearAttr()
 	return nil

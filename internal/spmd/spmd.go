@@ -77,6 +77,10 @@ type LoopPlan struct {
 	// Combines lists reduction mappings whose global combine runs after
 	// this loop completes.
 	Combines []*core.ScalarMapping
+	// CopyOuts lists lastprivate scalar mappings whose final-iteration
+	// value is broadcast from its owner after this loop completes (and
+	// after the Combines).
+	CopyOuts []*core.ScalarMapping
 }
 
 // RecoveryClass describes how a variable's live state is restored on a
@@ -207,9 +211,27 @@ func Generate(res *core.Result) *Program {
 				outer.Index.Name, m.Def.Var.Name))
 		}
 	}
+	// Attach lastprivate copy-outs to their privatization loop.
+	for _, m := range res.Scalars {
+		if !m.LastPrivate || m.PrivLoop == nil || m.Kind != core.ScalarAligned {
+			continue
+		}
+		lp := p.Loops[m.PrivLoop]
+		if lp != nil {
+			lp.CopyOuts = append(lp.CopyOuts, m)
+		} else {
+			p.Diags = append(p.Diags, diag.Warningf("spmd", diag.CodeScalarFallback,
+				m.Def.Var.Name, m.Def.Stmt.Pos(),
+				"no loop plan for the %s-loop; lastprivate copy-out for %s dropped",
+				m.PrivLoop.Index.Name, m.Def.Var.Name))
+		}
+	}
 	for _, lp := range p.Loops {
 		sort.Slice(lp.Combines, func(i, j int) bool {
 			return lp.Combines[i].Def.ID < lp.Combines[j].Def.ID
+		})
+		sort.Slice(lp.CopyOuts, func(i, j int) bool {
+			return lp.CopyOuts[i].Def.ID < lp.CopyOuts[j].Def.ID
 		})
 	}
 	p.Recovery = recoveryClasses(res)
@@ -352,6 +374,9 @@ func (p *Program) Dump() string {
 				fmt.Fprintf(&b, "%send do\n", ind(depth))
 				for _, m := range lp.Combines {
 					fmt.Fprintf(&b, "%s[combine %s over grid dims %v]\n", ind(depth), m.Def.Var.Name, m.RedGridDims)
+				}
+				for _, m := range lp.CopyOuts {
+					fmt.Fprintf(&b, "%s[copy-out %s from owner(%s)]\n", ind(depth), m.Def.Var.Name, m.Target)
 				}
 			case *ir.If:
 				p.dumpStmt(&b, x.Cond, depth)

@@ -108,6 +108,22 @@ const (
 	ScalarsSelected        = core.ScalarsSelected
 )
 
+// PrivMode selects where privatization facts come from (see core.PrivMode):
+// directives only, inference alongside directives (the default), or
+// inference alone with directives ignored.
+type PrivMode = core.PrivMode
+
+// Privatization modes.
+const (
+	PrivDirectives  = core.PrivDirectives
+	PrivInfer       = core.PrivInfer
+	PrivInferStrict = core.PrivInferStrict
+)
+
+// ParsePrivMode parses a CLI/API privatization-mode name: "directives",
+// "infer", or "infer-strict".
+func ParsePrivMode(s string) (PrivMode, bool) { return core.ParsePrivMode(s) }
+
 // SelectedOptions is the full compiler of §2.2–§4 (Table 1 "Selected
 // Alignment", Table 2 "Alignment", Table 3 privatization columns).
 func SelectedOptions() Options { return core.DefaultOptions() }
@@ -152,7 +168,7 @@ func CacheKey(source string, nprocs int, opts Options) string {
 	h := sha256.New()
 	// The version tag invalidates every cached key when the encoding (or
 	// the meaning of an option) changes incompatibly.
-	fmt.Fprintf(h, "phpf-cache-v1\x00procs=%d\x00opts=%+v\x00", nprocs, opts)
+	fmt.Fprintf(h, "phpf-cache-v2\x00procs=%d\x00opts=%+v\x00", nprocs, opts)
 	h.Write([]byte(source))
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -699,6 +715,41 @@ func (c *Compiled) MappingReport() string {
 	for _, red := range res.Reductions {
 		fmt.Fprintf(&b, "reduction %s (%s) carried by %s-loop\n",
 			red.Var.Name, red.Op, red.Loop.Index.Name)
+	}
+	return b.String()
+}
+
+// ExplainPriv renders the privatization classification of the compilation:
+// one line per (variable, loop) candidate with the decision and its reason
+// — including why each declined variable was serialized and which blocking
+// reference is responsible — followed by the annotations the inference pass
+// inserted. phpfc -explain-priv prints it.
+func (c *Compiled) ExplainPriv() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "privatization mode: %s\n", c.Opts.PrivatizationMode())
+	sum := c.Result.Priv
+	if sum == nil || len(sum.Classes) == 0 {
+		b.WriteString("no privatization candidates\n")
+		return b.String()
+	}
+	for i := range sum.Classes {
+		cl := &sum.Classes[i]
+		fmt.Fprintf(&b, "%s wrt %s-loop: %s", cl.Var.Name, cl.Loop.Index.Name, cl.Decision)
+		if cl.Directive {
+			b.WriteString(" [directive]")
+		}
+		if cl.Inserted {
+			b.WriteString(" [inserted]")
+		}
+		fmt.Fprintf(&b, " — %s\n", cl.Reason)
+	}
+	for _, l := range c.Result.Prog.Loops {
+		if len(l.InferredNew) > 0 {
+			fmt.Fprintf(&b, "%s-loop inferred new(%s)\n", l.Index.Name, strings.Join(l.InferredNew, ","))
+		}
+		if len(l.InferredLast) > 0 {
+			fmt.Fprintf(&b, "%s-loop inferred lastprivate(%s)\n", l.Index.Name, strings.Join(l.InferredLast, ","))
+		}
 	}
 	return b.String()
 }

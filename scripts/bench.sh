@@ -16,7 +16,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^(BenchmarkTable|BenchmarkSimulatorThroughput|BenchmarkRecoveryOverhead|BenchmarkServe)}"
+pattern="${BENCH_PATTERN:-^(BenchmarkTable|BenchmarkSimulatorThroughput|BenchmarkRecoveryOverhead|BenchmarkServe|BenchmarkCompileInfer)}"
 mode="${1:-run}"
 
 # last_baseline prints the highest-numbered BENCH_<n>.json known to git.

@@ -19,6 +19,7 @@ go test -run=^$ -fuzz=FuzzParse -fuzztime="$fuzztime" ./internal/parser
 go test -run=^$ -fuzz=FuzzParseCrashes -fuzztime="$fuzztime" ./internal/fault
 go test -run=^$ -fuzz=FuzzParseSlowdowns -fuzztime="$fuzztime" ./internal/fault
 go test -run=^$ -fuzz=FuzzServeRequest -fuzztime="$fuzztime" ./internal/serve
+go test -run=^$ -fuzz=FuzzAutoPriv -fuzztime="$fuzztime" .
 
 # Chaos gate: every seeded fault plan (loss, duplication, slowdown,
 # checkpointing, mid-loop fail-stop healed by checkpoint/restart, and the

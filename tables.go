@@ -90,19 +90,31 @@ type Table1Row struct {
 	Selected    Cell
 }
 
+// withPriv applies an optional privatization-mode override to one column's
+// option set; without an override the column keeps the ambient default
+// (inference on). The table builders take the override as a trailing
+// variadic so existing callers stay source-compatible.
+func withPriv(o Options, mode []PrivMode) Options {
+	if len(mode) > 0 {
+		o.Privatization = mode[0]
+	}
+	return o
+}
+
 // Table1TOMCATV reproduces Table 1: TOMCATV execution time under
 // replication, producer alignment, and selected alignment. maxSeconds
-// bounds each simulated run (0 = unlimited).
-func Table1TOMCATV(n, niter int, procs []int, maxSeconds float64) ([]Table1Row, error) {
+// bounds each simulated run (0 = unlimited); an optional privatization
+// mode applies to every column (phpfbench -privatize).
+func Table1TOMCATV(n, niter int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Table1Row, error) {
 	src := TOMCATVSource(n, niter)
 	rows := make([]Table1Row, len(procs))
 	var jobs []cellJob
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src, p, NaiveOptions(), &rows[i].Replication, nil},
-			cellJob{src, p, ProducerOptions(), &rows[i].Producer, nil},
-			cellJob{src, p, SelectedOptions(), &rows[i].Selected, nil})
+			cellJob{src, p, withPriv(NaiveOptions(), mode), &rows[i].Replication, nil},
+			cellJob{src, p, withPriv(ProducerOptions(), mode), &rows[i].Producer, nil},
+			cellJob{src, p, withPriv(SelectedOptions(), mode), &rows[i].Selected, nil})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -132,8 +144,9 @@ type Table2Row struct {
 	Aligned Cell // §2.3 mapping
 }
 
-// Table2DGEFA reproduces Table 2.
-func Table2DGEFA(n int, procs []int, maxSeconds float64) ([]Table2Row, error) {
+// Table2DGEFA reproduces Table 2. An optional privatization mode applies to
+// both columns (phpfbench -privatize).
+func Table2DGEFA(n int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Table2Row, error) {
 	src := DGEFASource(n)
 	defOpts := SelectedOptions()
 	defOpts.AlignReductions = false
@@ -142,8 +155,8 @@ func Table2DGEFA(n int, procs []int, maxSeconds float64) ([]Table2Row, error) {
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src, p, defOpts, &rows[i].Default, nil},
-			cellJob{src, p, SelectedOptions(), &rows[i].Aligned, nil})
+			cellJob{src, p, withPriv(defOpts, mode), &rows[i].Default, nil},
+			cellJob{src, p, withPriv(SelectedOptions(), mode), &rows[i].Aligned, nil})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -177,7 +190,7 @@ type Table3Row struct {
 // Table3APPSP reproduces Table 3. maxSeconds bounds each run; the no-priv
 // configurations are expected to hit it (the paper aborted them after a
 // day).
-func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64) ([]Table3Row, error) {
+func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Table3Row, error) {
 	src1 := APPSPSource(nx, ny, nz, niter, false)
 	src2 := APPSPSource(nx, ny, nz, niter, true)
 	noPriv := SelectedOptions()
@@ -189,10 +202,10 @@ func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64) ([]Tabl
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src1, p, noPriv, &rows[i].OneDNoPriv, nil},
-			cellJob{src1, p, SelectedOptions(), &rows[i].OneDPriv, nil},
-			cellJob{src2, p, noPartial, &rows[i].TwoDNoPartial, nil},
-			cellJob{src2, p, SelectedOptions(), &rows[i].TwoDPartial, nil})
+			cellJob{src1, p, withPriv(noPriv, mode), &rows[i].OneDNoPriv, nil},
+			cellJob{src1, p, withPriv(SelectedOptions(), mode), &rows[i].OneDPriv, nil},
+			cellJob{src2, p, withPriv(noPartial, mode), &rows[i].TwoDNoPartial, nil},
+			cellJob{src2, p, withPriv(SelectedOptions(), mode), &rows[i].TwoDPartial, nil})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
