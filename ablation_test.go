@@ -5,6 +5,7 @@ package phpf
 // numbers) drives the results.
 
 import (
+	"context"
 	"testing"
 )
 
@@ -85,7 +86,7 @@ func TestAblationValuesUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseOut, err := base.Run(RunConfig{})
+	baseOut, err := base.Execute(context.Background(), Simulator(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestAblationValuesUnchanged(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := c.Run(RunConfig{})
+		out, err := c.Execute(context.Background(), Simulator(), RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}

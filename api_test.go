@@ -133,19 +133,79 @@ func TestConcurrentFaultOptions(t *testing.T) {
 	}
 }
 
-// TestDiffBackendsRejectsFaultyConfig pins the bugfix: the deprecated
-// DiffBackends entry must validate the simulator config instead of silently
-// forwarding fault injection or checkpointing into the oracle.
-func TestDiffBackendsRejectsFaultyConfig(t *testing.T) {
-	c := compileSmooth(t, 4)
-	ctx := context.Background()
-	_, err := c.DiffBackends(ctx, RunConfig{Fault: &FaultPlan{LossRate: 0.5, Seed: 7}}, ExecConfig{})
-	if err == nil || !strings.Contains(err.Error(), "E005") {
-		t.Fatalf("fault plan: got %v, want a coded E005 diagnostic", err)
+// TestReduceModeValidation: the Reduce knob is range-checked with a coded
+// E005 diagnostic, parses from its CLI names, and ReducePrivatize fails a
+// program whose recognized reduction is collective-only.
+func TestReduceModeValidation(t *testing.T) {
+	if err := (RunOptions{Reduce: ReduceMode(99)}).Validate(); err == nil || !strings.Contains(err.Error(), "E005") {
+		t.Fatalf("Reduce=99: got %v, want a coded E005 diagnostic", err)
 	}
-	_, err = c.DiffBackends(ctx, RunConfig{CheckpointInterval: 0.5}, ExecConfig{})
-	if err == nil || !strings.Contains(err.Error(), "E005") {
-		t.Fatalf("checkpointing: got %v, want a coded E005 diagnostic", err)
+	for _, tc := range []struct {
+		name string
+		want ReduceMode
+	}{
+		{"auto", ReduceAuto},
+		{"collective", ReduceCollective},
+		{"privatize", ReducePrivatize},
+	} {
+		got, ok := ParseReduceMode(tc.name)
+		if !ok || got != tc.want {
+			t.Errorf("ParseReduceMode(%q) = %v, %v", tc.name, got, ok)
+		}
+	}
+	if _, ok := ParseReduceMode("bogus"); ok {
+		t.Error("ParseReduceMode accepted bogus")
+	}
+	// maxloc (reduction value + index) has no private per-element merge; a
+	// demanded privatization must fail loudly on both backends.
+	src := `
+program m
+parameter n = 64
+real a(n)
+real best
+integer i, loc
+!hpf$ distribute (block) :: a
+do i = 1, n
+  a(i) = i * 1.0
+end do
+best = a(1)
+loc = 1
+do i = 2, n
+  if (a(i) > best) then
+    best = a(i)
+    loc = i
+  end if
+end do
+end
+`
+	c, err := Compile(src, 4, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, b := range []Backend{Simulator(), Concurrent()} {
+		if _, err := c.Execute(ctx, b, RunOptions{Reduce: ReducePrivatize}); err == nil || !strings.Contains(err.Error(), "E005") {
+			t.Errorf("%s reduce=privatize on maxloc: got %v, want a coded E005 diagnostic", b.Name(), err)
+		}
+		if _, err := c.Execute(ctx, b, RunOptions{Reduce: ReduceAuto}); err != nil {
+			t.Errorf("%s reduce=auto on maxloc: %v", b.Name(), err)
+		}
+	}
+
+	// DGEFA's pivot reductions (a conditional max and its maxloc companion)
+	// never get a combine attached — the demand must be validated against
+	// the reduce plan itself, not just the attached combines.
+	d, err := Compile(DGEFASource(32), 4, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{Simulator(), Concurrent()} {
+		if _, err := d.Execute(ctx, b, RunOptions{Reduce: ReducePrivatize}); err == nil || !strings.Contains(err.Error(), "E005") {
+			t.Errorf("%s reduce=privatize on DGEFA: got %v, want a coded E005 diagnostic", b.Name(), err)
+		}
+		if _, err := d.Execute(ctx, b, RunOptions{Reduce: ReduceAuto}); err != nil {
+			t.Errorf("%s reduce=auto on DGEFA: %v", b.Name(), err)
+		}
 	}
 }
 
@@ -183,38 +243,51 @@ func TestDiffTraced(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappers checks the pre-Backend entry points still work and
-// agree with the unified API.
-func TestDeprecatedWrappers(t *testing.T) {
-	c := compileSmooth(t, 4)
+// TestReduceStrategiesAgreeOnIntegers: an integer-valued sum is exact under
+// any association, so the collective and privatized strategies must produce
+// identical results (and the trace shows the strategy actually switched).
+func TestReduceStrategiesAgreeOnIntegers(t *testing.T) {
+	src := `
+program s
+parameter n = 128
+real a(n)
+real total
+integer i
+!hpf$ distribute (block) :: a
+do i = 1, n
+  a(i) = i * 1.0
+end do
+total = 0.0
+do i = 1, n
+  total = total + a(i)
+end do
+end
+`
+	c, err := Compile(src, 8, SelectedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx := context.Background()
-
-	old, err := c.Run(RunConfig{Profile: true})
+	coll, err := c.Execute(ctx, Simulator(), RunOptions{Reduce: ReduceCollective, Trace: &TraceOptions{}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := c.Execute(ctx, Simulator(), RunOptions{Profile: true})
+	priv, err := c.Execute(ctx, Simulator(), RunOptions{Reduce: ReducePrivatize, Trace: &TraceOptions{}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if old.Time != rep.Time || old.Stats != rep.Stats {
-		t.Errorf("Run and Execute disagree: %v/%v vs %v/%v", old.Time, old.Stats, rep.Time, rep.Stats)
+	want := float64(128*129) / 2
+	if coll.Scalars["total"] != want || priv.Scalars["total"] != want {
+		t.Errorf("total: collective %v, privatized %v, want %v",
+			coll.Scalars["total"], priv.Scalars["total"], want)
 	}
-
-	oldc, err := c.RunConcurrent(ctx, ExecConfig{})
-	if err != nil {
-		t.Fatal(err)
+	if coll.Stats.Merges != 0 || coll.Stats.Reductions == 0 {
+		t.Errorf("collective stats: merges=%d reductions=%d", coll.Stats.Merges, coll.Stats.Reductions)
 	}
-	if oldc.Time != rep.Time {
-		t.Errorf("RunConcurrent time %v, want %v", oldc.Time, rep.Time)
+	if priv.Stats.Merges == 0 || priv.Stats.Reductions != 0 {
+		t.Errorf("privatized stats: merges=%d reductions=%d", priv.Stats.Merges, priv.Stats.Reductions)
 	}
-
-	// The hot-statement formatter and its deprecated alias render the same
-	// table.
-	if FormatProfile(old.Profile, 5) != FormatHotStatements(rep.HotStatements, 5) {
-		t.Error("FormatProfile and FormatHotStatements disagree")
-	}
-	if len(rep.HotStatements) == 0 {
-		t.Error("Profile run returned no hot statements")
+	if priv.Trace.MergedCount() == 0 {
+		t.Error("privatized trace recorded no merged partials")
 	}
 }

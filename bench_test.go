@@ -26,7 +26,7 @@ func benchCell(b *testing.B, source string, procs int, opts Options) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		out, err := c.Run(RunConfig{})
+		out, err := c.Execute(context.Background(), Simulator(), RunOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,6 +103,55 @@ func BenchmarkTable3APPSP(b *testing.B) {
 		for _, p := range []int{4, 16} {
 			b.Run(fmt.Sprintf("%s/P=%d", cfg.name, p), func(b *testing.B) {
 				benchCell(b, src, p, cfg.opts)
+			})
+		}
+	}
+}
+
+// --- Reduce sweep: privatized vs collective commutative updates -------------
+
+// BenchmarkReducePrivatization compares the two runtime reduction
+// strategies on the reduce-sweep kernels at P=8: the collective reference
+// routes every commutative update to the owner, the privatized runtime
+// accumulates per-worker partials and tree-merges them at loop exit. The
+// sim-sec/run metrics record the paper's claimed win (the acceptance bar is
+// privatized >= 3x faster on both kernels); ns/op carries the wall cost of
+// compiling and simulating the cell, which is what the regression gate
+// watches.
+func BenchmarkReducePrivatization(b *testing.B) {
+	const procs = 8
+	kernels := []struct {
+		name   string
+		source string
+	}{
+		{"Histogram", HistogramSource(256, 32, 4)},
+		{"DotSweep", DotSweepSource(48, 24)},
+	}
+	modes := []struct {
+		name string
+		mode ReduceMode
+	}{
+		{"Collective", ReduceCollective},
+		{"Privatized", ReducePrivatize},
+	}
+	for _, k := range kernels {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s/P=%d", k.name, m.name, procs), func(b *testing.B) {
+				c, err := Compile(k.source, procs, SelectedOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				var simSec float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := c.Execute(context.Background(), Simulator(),
+						RunOptions{Reduce: m.mode})
+					if err != nil {
+						b.Fatal(err)
+					}
+					simSec = out.Time
+				}
+				b.ReportMetric(simSec, "sim-sec/run")
 			})
 		}
 	}
@@ -291,7 +340,7 @@ end
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Run(RunConfig{}); err != nil {
+		if _, err := c.Execute(context.Background(), Simulator(), RunOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

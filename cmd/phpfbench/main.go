@@ -12,6 +12,8 @@
 //	phpfbench -diff           # differential oracle: concurrent vs simulator
 //	phpfbench -chaos          # seeded physical faults on both backends, oracle-checked
 //	phpfbench -trace-summary  # communication matrix for every sweep point
+//	phpfbench -reduce-sweep   # collective vs privatized commutative updates
+//	phpfbench -reduce collective  # force a reduction strategy on the table runs
 package main
 
 import (
@@ -33,16 +35,33 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the chaos sweep (seeded loss/dup/crash/checkpoint plans, physically injected into the concurrent backend and oracle-checked against the simulator) instead of the tables")
 	traceSummary := flag.Bool("trace-summary", false, "trace every sweep point (benchmark x strategy x procs) and print its communication matrix instead of the tables")
 	privatize := flag.String("privatize", "", "privatization mode for the table runs: directives, infer (default), infer-strict")
+	reduce := flag.String("reduce", "", "runtime reduction strategy for the table runs: auto (default), collective, privatize")
+	reduceSweep := flag.Bool("reduce-sweep", false, "run the reduce sweep (collective vs privatized commutative updates on the histogram and dot-product kernels) instead of the tables")
 	flag.Parse()
 
-	var privMode []phpf.PrivMode
-	if *privatize != "" {
-		mode, ok := phpf.ParsePrivMode(*privatize)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "phpfbench: unknown privatization mode %q (directives, infer, infer-strict)\n", *privatize)
-			os.Exit(2)
+	var tblCfg []phpf.TableConfig
+	{
+		var tc phpf.TableConfig
+		set := false
+		if *privatize != "" {
+			mode, ok := phpf.ParsePrivMode(*privatize)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "phpfbench: unknown privatization mode %q (directives, infer, infer-strict)\n", *privatize)
+				os.Exit(2)
+			}
+			tc.Priv, set = &mode, true
 		}
-		privMode = append(privMode, mode)
+		if *reduce != "" {
+			mode, ok := phpf.ParseReduceMode(*reduce)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "phpfbench: unknown reduce mode %q (auto, collective, privatize)\n", *reduce)
+				os.Exit(2)
+			}
+			tc.Reduce, set = mode, true
+		}
+		if set {
+			tblCfg = append(tblCfg, tc)
+		}
 	}
 
 	procs := []int{1, 2, 4, 8, 16}
@@ -78,6 +97,25 @@ func main() {
 		{Name: fmt.Sprintf("DGEFA(n=%d)", dDgeN), Source: phpf.DGEFASource(dDgeN)},
 		{Name: fmt.Sprintf("APPSP-1D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, false)},
 		{Name: fmt.Sprintf("APPSP-2D(%d^3,niter=%d)", dApN, dApIter), Source: phpf.APPSPSource(dApN, dApN, dApN, dApIter, true)},
+	}
+
+	if *reduceSweep {
+		hn, hm, hiter := 256, 32, 4
+		dn, dm := 48, 24
+		if *large {
+			hn, hm, hiter = 1024, 64, 8
+			dn, dm = 128, 48
+		}
+		kernels := []phpf.DiffProgram{
+			{Name: fmt.Sprintf("Histogram(n=%d,m=%d,niter=%d)", hn, hm, hiter), Source: phpf.HistogramSource(hn, hm, hiter)},
+			{Name: fmt.Sprintf("DotSweep(n=%d,m=%d)", dn, dm), Source: phpf.DotSweepSource(dn, dm)},
+		}
+		rows, err := phpf.ReduceSweep(kernels, procs, *maxSec)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(phpf.FormatReduceSweep(rows))
+		return
 	}
 
 	if *traceSummary {
@@ -149,7 +187,7 @@ func main() {
 	}
 
 	if *table == 0 || *table == 1 {
-		rows, err := phpf.Table1TOMCATV(tomN, tomIter, procs, *maxSec, privMode...)
+		rows, err := phpf.Table1TOMCATV(tomN, tomIter, procs, *maxSec, tblCfg...)
 		if err != nil {
 			fail(err)
 		}
@@ -157,7 +195,7 @@ func main() {
 		fmt.Println()
 	}
 	if *table == 0 || *table == 2 {
-		rows, err := phpf.Table2DGEFA(dgeN, procs[1:], *maxSec, privMode...)
+		rows, err := phpf.Table2DGEFA(dgeN, procs[1:], *maxSec, tblCfg...)
 		if err != nil {
 			fail(err)
 		}
@@ -165,7 +203,7 @@ func main() {
 		fmt.Println()
 	}
 	if *table == 0 || *table == 3 {
-		rows, err := phpf.Table3APPSP(apN, apN, apN, apIter, procs[1:], *maxSec, privMode...)
+		rows, err := phpf.Table3APPSP(apN, apN, apN, apIter, procs[1:], *maxSec, tblCfg...)
 		if err != nil {
 			fail(err)
 		}

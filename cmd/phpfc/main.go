@@ -9,6 +9,7 @@
 //	phpfc -trace file.f            # print the per-pass compile profile
 //	phpfc -dump-after=ssa file.f   # print the unit snapshot after a pass
 //	phpfc -verify file.f           # run the IR/SSA/mapping verifier
+//	phpfc -reduce auto file.f      # print the reduction plan under a runtime strategy
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	verify := flag.Bool("verify", false, "run the IR/SSA/mapping verifier between passes")
 	privatize := flag.String("privatize", "", "privatization mode: directives, infer (default), infer-strict")
 	explainPriv := flag.Bool("explain-priv", false, "print the per-variable privatization decisions with reasons")
+	reduce := flag.String("reduce", "", "print the reduction plan under this runtime strategy: auto, collective, privatize")
 	flag.Parse()
 
 	var source string
@@ -104,6 +106,16 @@ func main() {
 	if *explainPriv {
 		fmt.Println("=== privatization decisions ===")
 		fmt.Print(c.ExplainPriv())
+		return
+	}
+	if *reduce != "" {
+		mode, ok := phpf.ParseReduceMode(*reduce)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfc: unknown reduce mode %q (auto, collective, privatize)\n", *reduce)
+			os.Exit(2)
+		}
+		fmt.Println("=== reduction plan ===")
+		fmt.Print(c.ReducePlanReport(mode))
 		return
 	}
 	if *dump == "mapping" || *dump == "all" {

@@ -56,6 +56,7 @@ func main() {
 	n := flag.Int("n", 129, "built-in kernel size")
 	iters := flag.Int("iters", 5, "built-in kernel iterations")
 	privatize := flag.String("privatize", "", "privatization mode: directives, infer (default), infer-strict")
+	reduce := flag.String("reduce", "", "runtime reduction strategy: auto (default), collective, privatize")
 
 	backend := flag.String("exec", "sim", "execution backend: sim (sequential simulator) or concurrent (goroutine per processor)")
 	workers := flag.Int("workers", 0, "concurrent backend: worker count (0 = one per simulated processor)")
@@ -159,6 +160,14 @@ func main() {
 		StallTimeout:       *stallTimeout,
 		Fault:              plan,
 		CheckpointInterval: *ckptInterval,
+	}
+	if *reduce != "" {
+		mode, ok := phpf.ParseReduceMode(*reduce)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "phpfrun: unknown reduce mode %q (auto, collective, privatize)\n", *reduce)
+			os.Exit(2)
+		}
+		run.Reduce = mode
 	}
 	if b.Name() == "sim" {
 		// Simulator-only knobs: leave them zero for the concurrent backend,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := c.Run(phpf.RunConfig{})
+		out, err := c.Execute(context.Background(), phpf.Simulator(), phpf.RunOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,19 +1,22 @@
 package phpf
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestDGEFALossyRunDeterministic is the headline acceptance property: two
 // runs of DGEFA with the same fault seed and a 1% loss rate agree on every
 // reported number, and retransmissions actually occurred.
 func TestDGEFALossyRunDeterministic(t *testing.T) {
 	src := DGEFASource(64)
-	cfg := RunConfig{Fault: &FaultPlan{Seed: 7, LossRate: 0.01}}
-	run := func() *RunResult {
+	opts := RunOptions{Fault: &FaultPlan{Seed: 7, LossRate: 0.01}}
+	run := func() *Report {
 		c, err := Compile(src, 8, SelectedOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := c.Run(cfg)
+		out, err := c.Execute(context.Background(), Simulator(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,8 +9,8 @@ import (
 
 // Pipeline returns the declared analysis pipeline, ending in the analyze
 // pass which deposits its Result through the returned pointer-pointer. The
-// pass order is: ir, cfg, ssa, constprop, induction, autopriv, mapping,
-// analyze, slots. Induction rewriting does not rebuild downstream
+// pass order is: ir, cfg, ssa, constprop, induction, autopriv, reduceplan,
+// mapping, analyze, slots. Induction rewriting does not rebuild downstream
 // structures inline; it invalidates FactCFG and the manager lazily re-runs
 // cfg/ssa before autopriv and constprop before analyze (visible in the
 // profile as re-runs). The autopriv pass runs over the rewritten SSA —
@@ -24,10 +24,11 @@ func Pipeline(opts Options, out **Result) []pass.Pass {
 	analyze := &pass.Funcs{
 		PassName: "analyze",
 		Needs: []pass.Fact{pass.FactIR, pass.FactSSA, pass.FactConsts,
-			pass.FactMapping, pass.FactAutoPriv},
+			pass.FactMapping, pass.FactAutoPriv, pass.FactReducePlan},
 		RunFunc: func(u *pass.Unit) error {
 			res := Analyze(u.Prog, u.SSA, u.Consts, u.Mapping, u.Inductions, opts)
 			res.Priv = u.AutoPriv
+			res.ReducePlan = u.ReducePlan
 			for _, d := range res.Diags {
 				u.Diag(d)
 			}
@@ -42,6 +43,7 @@ func Pipeline(opts Options, out **Result) []pass.Pass {
 		pass.ConstProp(),
 		pass.Induction(),
 		pass.AutoPriv(mode != PrivDirectives, mode == PrivInferStrict),
+		pass.ReducePlan(),
 		pass.Mapping(),
 		analyze,
 		pass.Slots(),

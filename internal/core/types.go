@@ -94,6 +94,49 @@ func ParsePrivMode(s string) (PrivMode, bool) {
 	return PrivDirectives, false
 }
 
+// ReduceMode selects the runtime reduction strategy — how recognized
+// reductions execute, not how they are mapped (the §2.3 static mapping is
+// compiled either way, so one compiled program serves every mode).
+type ReduceMode int
+
+const (
+	// ReduceAuto: privatize every reduction the reduceplan classified
+	// privatizable; the rest stay collective. The default.
+	ReduceAuto ReduceMode = iota
+	// ReduceCollective: every reduction pays the global collective at the
+	// carried loop's exit (the differential reference).
+	ReduceCollective
+	// ReducePrivatize: require privatized execution; running a program with
+	// a recognized reduction the plan could not privatize is a configuration
+	// error (E005), surfaced identically by both backends.
+	ReducePrivatize
+)
+
+func (m ReduceMode) String() string {
+	switch m {
+	case ReduceAuto:
+		return "auto"
+	case ReduceCollective:
+		return "collective"
+	case ReducePrivatize:
+		return "privatize"
+	}
+	return "?"
+}
+
+// ParseReduceMode parses the -reduce spellings.
+func ParseReduceMode(s string) (ReduceMode, bool) {
+	switch s {
+	case "auto", "":
+		return ReduceAuto, true
+	case "collective":
+		return ReduceCollective, true
+	case "privatize":
+		return ReducePrivatize, true
+	}
+	return ReduceAuto, false
+}
+
 // Options controls which optimizations the mapping pass applies.
 type Options struct {
 	Scalars ScalarStrategy
@@ -325,6 +368,11 @@ type Result struct {
 
 	Inductions []*dataflow.Induction
 	Reductions []*dataflow.Reduction
+
+	// ReducePlan is the reduceplan pass's collective-vs-privatized
+	// classification of every recognized reduction (nil when Analyze was
+	// called directly; SPMD generation then derives it on demand).
+	ReducePlan *dataflow.ReducePlan
 
 	// Priv is the autopriv pass's classification of every candidate
 	// (loop, variable) pair — what was privatized, what was declined and

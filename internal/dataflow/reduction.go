@@ -1,6 +1,8 @@
 package dataflow
 
 import (
+	"math"
+
 	"phpf/internal/ast"
 	"phpf/internal/ir"
 	"phpf/internal/ssa"
@@ -35,6 +37,34 @@ func (o ReductionOp) String() string {
 	return "?"
 }
 
+// Identity returns the operation's neutral element — the value a private
+// partial accumulator starts from (and is reset to after every merge).
+func (o ReductionOp) Identity() float64 {
+	switch o {
+	case RedProd:
+		return 1
+	case RedMax:
+		return math.Inf(-1)
+	case RedMin:
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// Fold combines two values under the operation. Folding the identity is a
+// no-op, so partials that never accumulated merge for free.
+func (o ReductionOp) Fold(a, b float64) float64 {
+	switch o {
+	case RedProd:
+		return a * b
+	case RedMax:
+		return math.Max(a, b)
+	case RedMin:
+		return math.Min(a, b)
+	}
+	return a + b
+}
+
 // Reduction describes a scalar reduction carried by a loop.
 type Reduction struct {
 	Var  *ir.Var
@@ -52,9 +82,23 @@ type Reduction struct {
 	// operation" (paper §2.3). Nil when the reduced data is scalar.
 	DataRef *ir.Ref
 
+	// Data is the contribution expression e of the update (s = s ⊕ e):
+	// the part a privatized runtime evaluates and folds into a private
+	// partial without reading the accumulator. Nil for conditional
+	// (maxloc-style) updates, which have no extractable contribution.
+	Data ast.Expr
+	// Negate marks the s = s - e form: the contribution folds in as -e
+	// under a sum.
+	Negate bool
+
 	// Companion links a maxloc location variable to its max reduction.
 	Companion *Reduction
 }
+
+// IsArray reports whether the reduction target is an array updated
+// elementwise (a commutative update like h(e) = h(e) + 1) rather than a
+// scalar accumulator.
+func (r *Reduction) IsArray() bool { return r.Var.IsArray() }
 
 // FindReductions recognizes scalar reductions:
 //
@@ -77,6 +121,11 @@ func FindReductions(p *ir.Program, s *ssa.SSA) []*Reduction {
 			continue
 		}
 		if r := recognizePlainReduction(st, s); r != nil {
+			out = append(out, r)
+			seen[st] = true
+			continue
+		}
+		if r := recognizeArrayReduction(st, p); r != nil {
 			out = append(out, r)
 			seen[st] = true
 			continue
@@ -164,6 +213,10 @@ func recognizePlainReduction(st *ir.Stmt, s *ssa.SSA) *Reduction {
 	if len(loops) == 0 {
 		return nil
 	}
+	negate := false
+	if rhs, ok := st.Rhs.(*ast.BinOp); ok && rhs.Op == ast.Sub {
+		negate = true
+	}
 	return &Reduction{
 		Var:     v,
 		Op:      op,
@@ -171,7 +224,175 @@ func recognizePlainReduction(st *ir.Stmt, s *ssa.SSA) *Reduction {
 		Loops:   loops,
 		Stmt:    st,
 		DataRef: partitionableDataRef(st, dataExpr),
+		Data:    dataExpr,
+		Negate:  negate,
 	}
+}
+
+// recognizeArrayReduction matches elementwise commutative updates of an
+// array:
+//
+//	a(subs) = a(subs) + e, a(subs) = a(subs) * e,
+//	a(subs) = max(a(subs), e), ...
+//
+// with syntactically identical subscripts on both sides (data-dependent
+// subscripts like h(key(i)) included — the histogram pattern) and a
+// contribution e that never reads the array. The carrier loops are the
+// enclosing loops in which no other statement touches the array, so
+// accumulating into private copies and merging once at the outermost
+// carrier's exit is semantics-preserving. SSA covers scalars only, so the
+// carrier test here is the syntactic exclusivity scan.
+func recognizeArrayReduction(st *ir.Stmt, p *ir.Program) *Reduction {
+	v := st.Lhs.Var
+	if !v.IsArray() || len(st.EnclosingIfs) > 0 || len(st.Lhs.Subs) == 0 {
+		return nil
+	}
+	self := ast.ExprString(st.Lhs.Ast)
+	matchSelf := func(e ast.Expr) bool {
+		r, ok := e.(*ast.Ref)
+		return ok && r.Name == v.Name && ast.ExprString(r) == self
+	}
+	var op ReductionOp
+	var dataExpr ast.Expr
+	negate := false
+	switch rhs := st.Rhs.(type) {
+	case *ast.BinOp:
+		switch rhs.Op {
+		case ast.Add, ast.Mul:
+			if matchSelf(rhs.L) {
+				dataExpr = rhs.R
+			} else if matchSelf(rhs.R) {
+				dataExpr = rhs.L
+			}
+			if rhs.Op == ast.Add {
+				op = RedSum
+			} else {
+				op = RedProd
+			}
+		case ast.Sub:
+			if matchSelf(rhs.L) {
+				dataExpr = rhs.R
+				op = RedSum
+				negate = true
+			}
+		}
+	case *ast.Call:
+		if (rhs.Name == "max" || rhs.Name == "min") && len(rhs.Args) == 2 {
+			if matchSelf(rhs.Args[0]) {
+				dataExpr = rhs.Args[1]
+			} else if matchSelf(rhs.Args[1]) {
+				dataExpr = rhs.Args[0]
+			}
+			if rhs.Name == "max" {
+				op = RedMax
+			} else {
+				op = RedMin
+			}
+		}
+	}
+	if dataExpr == nil {
+		return nil
+	}
+	// The contribution must not read the array, and the array must appear in
+	// the statement exactly twice (the update pair): a read in a subscript or
+	// the contribution would see stale private values.
+	selfUses := 0
+	for _, u := range st.Uses {
+		if u.Var == v {
+			selfUses++
+		}
+	}
+	if selfUses != 1 {
+		return nil
+	}
+	// Carrier loops: climb while the enclosing loop contains no other
+	// statement touching the array. A loop whose index appears affinely in
+	// some subscript of the update target writes each element at most once
+	// per iteration (affine subscripts are injective) — it is an ordinary
+	// elementwise traversal in that loop, not a commutative accumulation, so
+	// it cannot carry the reduction. It is skipped, not a barrier: an outer
+	// loop still carries h(i)-style updates repeated across its iterations
+	// (r(j) = r(j) + x(i,j)*y(i,j) is carried by the i-loop alone).
+	// Data-dependent subscripts like h(key(i)) stay carried by the i-loop:
+	// many iterations may hit the same element, which is exactly the
+	// histogram pattern privatization exists for.
+	var loops []*ir.Loop
+	for l := st.Loop; l != nil; l = l.Parent {
+		if !arrayExclusiveIn(p, v, st, l) {
+			break
+		}
+		if subsVaryAffinelyWith(st.Lhs, l) {
+			continue
+		}
+		loops = append(loops, l)
+	}
+	if len(loops) == 0 {
+		return nil
+	}
+	return &Reduction{
+		Var:     v,
+		Op:      op,
+		Loop:    loops[0],
+		Loops:   loops,
+		Stmt:    st,
+		DataRef: updateDataRef(st),
+		Data:    dataExpr,
+		Negate:  negate,
+	}
+}
+
+// subsVaryAffinelyWith reports whether any subscript of the reference is an
+// affine function of the loop's index with a nonzero coefficient — the
+// access is then injective in that loop, so one pass over it writes each
+// element at most once. Non-affine subscripts (h(key(i)), i*i) report
+// false: injectivity cannot be concluded, and the loop may carry repeated
+// updates of one element.
+func subsVaryAffinelyWith(ref *ir.Ref, l *ir.Loop) bool {
+	for _, sub := range ref.Subs {
+		if !sub.OK {
+			continue
+		}
+		for _, t := range sub.Terms {
+			if t.Loop == l && t.Coef != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// arrayExclusiveIn reports whether the update statement is the only
+// statement inside loop l that references array v.
+func arrayExclusiveIn(p *ir.Program, v *ir.Var, st *ir.Stmt, l *ir.Loop) bool {
+	for _, st2 := range p.Stmts {
+		if st2 == st || !ir.Encloses(l, st2.Loop) {
+			continue
+		}
+		if st2.Lhs != nil && st2.Lhs.Var == v {
+			return false
+		}
+		for _, u := range st2.Uses {
+			if u.Var == v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// updateDataRef picks the array reference whose owner executes (and
+// accumulates) each instance of a privatized elementwise update: the first
+// subscripted read of a different array anywhere in the statement — the
+// subscript read key(i) for a histogram h(key(i)), the operand x(i,j) for a
+// dot-product sweep r(j) = r(j) + x(i,j)*y(i,j). Nil when every input is
+// scalar (the update then accumulates on processor 0's partial).
+func updateDataRef(st *ir.Stmt) *ir.Ref {
+	for _, u := range st.Uses {
+		if u.Var != st.Lhs.Var && u.Var.IsArray() && len(u.Subs) > 0 {
+			return u
+		}
+	}
+	return nil
 }
 
 // carrierLoops verifies the self use is fed by this definition around loop

@@ -11,7 +11,9 @@ import (
 
 // CheckpointBytes returns each processor's live state size: its partition
 // of every (dynamically mapped) array plus one element per scalar variable,
-// at elemBytes bytes per element.
+// at elemBytes bytes per element. When the run privatizes reductions, each
+// processor's own partial row of every active partial table is live state too
+// — an in-flight private accumulation must survive a restart.
 func CheckpointBytes(s *State, elemBytes int64) []int64 {
 	g := s.Grid()
 	out := make([]int64, g.Size())
@@ -21,6 +23,11 @@ func CheckpointBytes(s *State, elemBytes int64) []int64 {
 			continue
 		}
 		scalarBytes += elemBytes
+	}
+	for acc, t := range s.partials {
+		if t != nil {
+			scalarBytes += s.partialElems[acc] * elemBytes
+		}
 	}
 	for p := range out {
 		coords := g.Coords(p)

@@ -14,6 +14,9 @@ type Snapshot struct {
 	indices   []int64
 	arrays    [][]float64
 	dyn       []*dist.ArrayMap
+	// partials deep-copies the privatized-reduction partial tables, so a
+	// restart replays in-flight private accumulations instead of losing them.
+	partials [][]float64
 }
 
 // Snapshot copies the memory image. Array payloads are deep-copied; dynamic
@@ -26,10 +29,16 @@ func (s *State) Snapshot() *Snapshot {
 		indices:   append([]int64(nil), s.indices...),
 		arrays:    make([][]float64, len(s.arrays)),
 		dyn:       append([]*dist.ArrayMap(nil), s.dyn...),
+		partials:  make([][]float64, len(s.partials)),
 	}
 	for i, a := range s.arrays {
 		if a != nil {
 			snap.arrays[i] = append([]float64(nil), a...)
+		}
+	}
+	for i, t := range s.partials {
+		if t != nil {
+			snap.partials[i] = append([]float64(nil), t...)
 		}
 	}
 	return snap
@@ -48,5 +57,10 @@ func (s *State) Restore(snap *Snapshot) {
 		}
 	}
 	copy(s.dyn, snap.dyn)
+	for i, t := range snap.partials {
+		if t != nil {
+			copy(s.partials[i], t)
+		}
+	}
 	s.epoch++
 }

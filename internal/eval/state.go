@@ -93,6 +93,14 @@ type State struct {
 	// idxScratch is the reusable subscript buffer OwnerSet evaluates into.
 	idxScratch []int64
 
+	// Privatized-reduction state (see reduce.go). partials[acc] is the
+	// combine's partial table — nprocs rows of partialElems[acc] elements,
+	// row p holding processor p's private partial — or nil when the combine
+	// runs collectively. Indexed by spmd.Combine.AccIndex.
+	reduceMode   core.ReduceMode
+	partials     [][]float64
+	partialElems []int64
+
 	// walk points at the tracked walker currently interpreting this state
 	// (nil outside WalkResume); Cursor reads the resume path through it.
 	// Deliberately excluded from snapshots.

@@ -239,6 +239,15 @@ func (w *walker) stmt(st *ir.Stmt) (control, error) {
 
 	switch st.Kind {
 	case ir.SAssign:
+		if s.PrivatizedActive(sp.Combine) {
+			// A privatized reduction update accumulates into the partial
+			// tables; the real accumulator is only written by the loop-exit
+			// merge.
+			if err := s.AccumulatePrivate(st, sp.Combine); err != nil {
+				return control{}, err
+			}
+			return control{}, nil
+		}
 		val, err := s.Eval(st.Rhs)
 		if err != nil {
 			return control{}, err

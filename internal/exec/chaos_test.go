@@ -58,6 +58,13 @@ func TestChaosMatrix(t *testing.T) {
 		// site) plus skipped hoisted requirements, which the other
 		// programs never hit.
 		"appsp2d": programs.APPSP(6, 6, 6, 1, true),
+		// The reduce-sweep kernels run privatized under the default auto
+		// mode: crashes and restores land while per-processor partial
+		// accumulators hold in-flight contributions, so a checkpoint that
+		// failed to snapshot the partial tables (or a restore that failed
+		// to rearm them) diverges here.
+		"histogram": programs.Histogram(16384, 64, 3),
+		"dotsweep":  programs.DotSweep(512, 24),
 	}
 	for progName, src := range progs {
 		prog := compile(t, src, 4, core.DefaultOptions())
@@ -94,10 +101,18 @@ func TestChaosMatrix(t *testing.T) {
 				if planName == "checkpoint" && rep.Sim.Stats.Checkpoints == 0 {
 					t.Fatal("checkpoint interval elapsed but no checkpoint was taken")
 				}
-				if d.Fault.Active() && d.Fault.LossRate > 0 && rep.Exec.WireDrops == 0 {
+				// The privatized reduce kernels move merge hops and
+				// almost nothing else, so a fractional loss/dup rate
+				// over a handful of real sends can legitimately touch
+				// zero of them; only demand hits where the program
+				// generates real traffic volume. (The differ above
+				// already proved both backends agree on the counters
+				// either way.)
+				lowTraffic := rep.Sim.Stats.Messages < 64
+				if d.Fault.Active() && d.Fault.LossRate > 0 && rep.Exec.WireDrops == 0 && !lowTraffic {
 					t.Fatal("loss plan dropped no real transmissions")
 				}
-				if d.Fault.Active() && d.Fault.DupRate > 0 && rep.Exec.WireDuplicates == 0 {
+				if d.Fault.Active() && d.Fault.DupRate > 0 && rep.Exec.WireDuplicates == 0 && !lowTraffic {
 					t.Fatal("dup plan duplicated no real transmissions")
 				}
 			})

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"phpf/internal/core"
 	"phpf/internal/dist"
 	"phpf/internal/fault"
 	"phpf/internal/sim"
@@ -47,6 +48,11 @@ type Differ struct {
 	// CheckpointInterval, when > 0, enables coordinated checkpointing at
 	// the same simulated-time interval in both backends.
 	CheckpointInterval float64
+	// Reduce selects the runtime reduction strategy, applied identically to
+	// both backends (two runs under different strategies reassociate floating
+	// point differently and are not comparable). Like Fault above, setting a
+	// conflicting mode on a sub-config is rejected.
+	Reduce core.ReduceMode
 }
 
 // DiffReport is the outcome of one differential run.
@@ -90,10 +96,16 @@ func (d Differ) Run(ctx context.Context, p *spmd.Program) (*DiffReport, error) {
 	if d.Exec.HardCrashes {
 		return nil, &ConfigError{Msg: "differential oracle cannot compare HardCrashes runs (run-level heals re-execute intervals the simulator models once)"}
 	}
+	if (d.Sim.Reduce != core.ReduceAuto && d.Sim.Reduce != d.Reduce) ||
+		(d.Exec.Reduce != core.ReduceAuto && d.Exec.Reduce != d.Reduce) {
+		return nil, &ConfigError{Msg: "differential oracle takes the reduce mode via Differ.Reduce (it must be identical for both backends)"}
+	}
 	d.Sim.Fault = d.Fault
 	d.Exec.Fault = d.Fault
 	d.Sim.CheckpointInterval = d.CheckpointInterval
 	d.Exec.CheckpointInterval = d.CheckpointInterval
+	d.Sim.Reduce = d.Reduce
+	d.Exec.Reduce = d.Reduce
 	if d.Trace != nil {
 		d.Sim.Trace = d.Trace
 		d.Exec.Trace = d.Trace
@@ -179,6 +191,7 @@ func (r *DiffReport) compare() {
 		{"broadcasts", ss.Broadcasts, es.Broadcasts},
 		{"shifts", ss.Shifts, es.Shifts},
 		{"reductions", ss.Reductions, es.Reductions},
+		{"merges", ss.Merges, es.Merges},
 		{"point-to-point", ss.PointToPoint, es.PointToPoint},
 		{"all-to-alls", ss.AllToAlls, es.AllToAlls},
 		{"retransmits", ss.Retransmits, es.Retransmits},
@@ -213,6 +226,9 @@ func (r *DiffReport) compare() {
 		}
 		if s, e := st.KindCount(trace.Reduce), et.KindCount(trace.Reduce); s != e {
 			miss("trace reduce events: sim %d, exec %d", s, e)
+		}
+		if s, e := st.MergedCount(), et.MergedCount(); s != e {
+			miss("trace merged partials: sim %d, exec %d", s, e)
 		}
 		// Per-class fault-protocol events: both backends emit them from the
 		// same replayed injector draws, so the counts must coincide.

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"phpf/internal/comm"
+	"phpf/internal/core"
 	"phpf/internal/dist"
 	"phpf/internal/eval"
 	"phpf/internal/fault"
@@ -118,6 +119,12 @@ type Config struct {
 	// MaxCells × 8 bytes × workers. A breach fails the run with a coded
 	// E006 diagnostic before the images are allocated.
 	MaxCells int64
+	// Reduce selects the runtime reduction strategy (mirroring sim.Config):
+	// ReduceAuto privatizes every reduction the reduceplan cleared,
+	// ReduceCollective forces the §2.3 collective, ReducePrivatize demands
+	// privatization and fails (E005) when any recognized reduction is
+	// collective-only.
+	Reduce core.ReduceMode
 	// HardCrashes makes scheduled fail-stop crashes kill the worker
 	// goroutine for real (a panic unwinds it mid-protocol) instead of the
 	// default coordinated unwind. Recovery then goes through the run-level
@@ -201,8 +208,9 @@ const (
 	tagRelease      = -5 // coordinator -> member barrier release
 	tagCkpt         = -6 // member -> coordinator checkpoint barrier
 	tagCkptRelease  = -7 // coordinator -> member checkpoint release
-	tagRefetch      = -8 // survivor -> restarted recovery refetch
-	tagCopyOut      = -9 // lastprivate final-value broadcast, root -> member
+	tagRefetch      = -8  // survivor -> restarted recovery refetch
+	tagCopyOut      = -9  // lastprivate final-value broadcast, root -> member
+	tagMerge        = -10 // privatized-reduction tree-merge hop, loser -> winner
 )
 
 type executor struct {
@@ -311,6 +319,9 @@ func Run(ctx context.Context, p *spmd.Program, cfg Config) (*Result, error) {
 	if cfg.MaxCells < 0 {
 		return nil, &ConfigError{Msg: fmt.Sprintf("MaxCells must be >= 0 (0 = unlimited), got %d", cfg.MaxCells)}
 	}
+	if cfg.Reduce < core.ReduceAuto || cfg.Reduce > core.ReducePrivatize {
+		return nil, &ConfigError{Msg: fmt.Sprintf("unknown Reduce mode %d", int(cfg.Reduce))}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -394,6 +405,11 @@ func (ex *executor) attempt(ctx context.Context, stall time.Duration, heal *heal
 	for i := range states {
 		st, err := eval.NewStateBudget(ex.prog, eval.Budget{MaxCells: ex.cfg.MaxCells})
 		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		// Arm the partial tables before any Restore: heal snapshots carry
+		// in-flight private partials and restore into the armed tables.
+		if err := st.ConfigureReduce(ex.cfg.Reduce, eval.Budget{MaxCells: ex.cfg.MaxCells}); err != nil {
 			return nil, fmt.Errorf("exec: %w", err)
 		}
 		if heal != nil {
@@ -792,6 +808,12 @@ func (w *worker) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 		}
 	}
 	for _, req := range lp.Hoisted {
+		// A privatized combine consumes its operands at the owners that
+		// accumulate them: no aggregated transfer, mirroring the simulator.
+		if sp := w.ex.prog.PlanOf(req.Stmt); sp != nil &&
+			w.st.PrivatizedActive(sp.Combine) && sp.Combine.Mapping == nil {
+			continue
+		}
 		op, err := w.st.VectorizedOp(req, w.elemBytes())
 		if err != nil {
 			return err
@@ -940,7 +962,19 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 	if err := w.flushBatch(); err != nil {
 		return err
 	}
-	for _, m := range lp.Combines {
+	for _, c := range lp.Combines {
+		if w.st.PrivatizedActive(c) {
+			if err := w.mergeCombine(c); err != nil {
+				return err
+			}
+			continue
+		}
+		if c.Mapping == nil {
+			// A collective elementwise reduction has no combine operation:
+			// its reference execution is plain per-instance owner-computes.
+			continue
+		}
+		m := c.Mapping
 		set := w.st.PatternSet(m.Pattern, nil)
 		if w.charges() {
 			w.mach.Reduce(set, w.elemBytes())
@@ -1044,11 +1078,89 @@ func (w *worker) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
 	return nil
 }
 
+// mergeCombine runs the privatized loop-exit merge of one combine: the
+// shared value semantics fold the partial tables locally (identically on
+// every worker — replicated execution), the charging workers replay the
+// TreeMerge cost, and the real wire traffic walks the deterministic tree,
+// each hop's loser shipping the FNV checksum of its pre-merge partial row
+// for the winner to verify bitwise.
+func (w *worker) mergeCombine(c *spmd.Combine) error {
+	elems := w.st.PartialElems(c)
+	hops, err := w.st.MergePartials(c)
+	if err != nil {
+		return err
+	}
+	if w.charges() {
+		w.mach.SetAttr(c.Red.Stmt.ID, -1, dist.CommNone)
+		w.mach.TreeMerge(dist.AllProcs(w.st.Grid()), elems*w.elemBytes(), w.ex.n)
+		w.mach.ClearAttr()
+	}
+	what := "merge " + c.Var().Name
+	for _, h := range hops {
+		if w.proc == h.Loser {
+			if err := w.send(h.Winner, message{req: tagMerge, hasVal: true, bits: h.Check}, what); err != nil {
+				return err
+			}
+		}
+		if w.proc == h.Winner {
+			got, err := w.recv(h.Loser, tagMerge, what)
+			if err != nil {
+				return err
+			}
+			if got.hasVal && got.bits != h.Check {
+				return &DivergenceError{Proc: w.proc, Peer: h.Loser, What: what,
+					Got: math.Float64frombits(got.bits), Want: math.Float64frombits(h.Check)}
+			}
+		}
+	}
+	if w.traces() && w.proc == 0 && len(hops) > 0 {
+		// One Reduce event per merge at the tree root, stamped with the
+		// merged-row count — structurally identical to the simulator's
+		// TreeMerge emission (protocol-tagged hop traffic is invisible to
+		// traceSend/recv, like the collective's gather).
+		w.ex.rec.Emit(w.proc, trace.Event{
+			Time: w.ex.wall(), Bytes: elems * w.elemBytes() * int64(len(hops)),
+			Kind: trace.Reduce, Class: dist.CommNone,
+			Proc: int32(w.proc), Peer: -1, Stmt: int32(c.Red.Stmt.ID), Req: -1,
+			Merged: int32(w.ex.n),
+		})
+	}
+	return nil
+}
+
 // Statement performs per-instance communication for one statement instance
 // (and, on charging workers, replays the guard, message, and compute
 // charges). In chaos mode every non-skipped per-instance communication is a
-// crash-check site, mirroring the simulator's statement walk.
+// crash-check site, mirroring the simulator's statement walk. A privatized
+// elementwise reduction update skips its per-instance communication entirely
+// — the instance accumulates into the data owner's partial row instead of
+// shipping operands to the element's owner — which is where the privatized
+// win comes from.
 func (w *worker) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
+	privArray := w.st.PrivatizedActive(sp.Combine) && sp.Combine.Mapping == nil
+	if privArray {
+		var execSet dist.ProcSet
+		var err error
+		if sp.Combine.Red.DataRef != nil {
+			execSet, err = w.st.OwnerSet(sp.Combine.Red.DataRef)
+		} else {
+			execSet, err = w.st.ExecSet(sp)
+		}
+		if err != nil {
+			return err
+		}
+		if sp.Flops > 0 {
+			if w.charges() {
+				w.mach.Compute(execSet, float64(sp.Flops)*w.ex.cfg.Params.FlopTime)
+			}
+			if w.traces() && execSet.Contains(w.proc) {
+				w.setAttr(st.ID, dist.CommNone, 0)
+				w.emit(trace.Compute, -1, float64(sp.Flops)*w.ex.cfg.Params.FlopTime, 0, -1)
+				w.clearAttr()
+			}
+		}
+		return nil
+	}
 	for _, req := range sp.PerInstance {
 		op, err := w.st.InstanceOp(req, sp, w.elemBytes())
 		if err != nil {

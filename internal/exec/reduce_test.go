@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"phpf/internal/core"
+	"phpf/internal/programs"
+	"phpf/internal/sim"
+	"phpf/internal/trace"
+)
+
+// TestReduceDifferMatrix is the deterministic-merge oracle: for both
+// reduce-sweep kernels, every mapping strategy, processor counts 1..8, and
+// both runtime reduction strategies, the concurrent executor must agree
+// with the simulator bit-for-bit — scalars, arrays, all cost-model
+// statistics (including the merge counter), and the traced reduce/merge
+// event counts. The tree merge's fold order is a pure function of the
+// processor count, which is exactly what this pins. Run under -race this is
+// also the concurrency soak for the merge-verification protocol.
+func TestReduceDifferMatrix(t *testing.T) {
+	kernels := map[string]string{
+		"histogram": programs.Histogram(96, 16, 2),
+		"dotsweep":  programs.DotSweep(16, 12),
+	}
+	for progName, src := range kernels {
+		for stratName, opts := range strategies() {
+			for _, nprocs := range []int{1, 2, 4, 8} {
+				for _, mode := range []core.ReduceMode{core.ReduceCollective, core.ReducePrivatize} {
+					src, opts, nprocs, mode := src, opts, nprocs, mode
+					t.Run(fmt.Sprintf("%s/%s/p%d/%s", progName, stratName, nprocs, mode), func(t *testing.T) {
+						prog := compile(t, src, nprocs, opts)
+						d := Differ{Trace: &trace.Options{}, Reduce: mode}
+						rep, err := d.Run(context.Background(), prog)
+						if err != nil {
+							t.Fatalf("differ: %v", err)
+						}
+						if !rep.Match() {
+							t.Fatal(rep.String())
+						}
+						merged := rep.Exec.Trace.MergedCount()
+						switch {
+						case mode == core.ReduceCollective && rep.Sim.Stats.Merges != 0:
+							t.Errorf("collective run tree-merged %d times", rep.Sim.Stats.Merges)
+						case mode == core.ReducePrivatize && nprocs > 1 && (rep.Sim.Stats.Merges == 0 || merged == 0):
+							t.Errorf("privatized run recorded merges=%d, traced merged=%d, want both > 0",
+								rep.Sim.Stats.Merges, merged)
+						case mode == core.ReducePrivatize && nprocs == 1 && merged != 0:
+							// A single processor has nothing to combine: no
+							// merge event on either backend.
+							t.Errorf("P=1 privatized run traced merged=%d, want 0", merged)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestReduceStrategyTrafficAdvantage pins the mechanism behind the reduce
+// sweep's headline: privatizing the histogram removes the per-instance
+// general communication entirely (every contribution accumulates locally),
+// so modeled message counts — not just simulated time — must drop.
+func TestReduceStrategyTrafficAdvantage(t *testing.T) {
+	prog := compile(t, programs.Histogram(96, 16, 2), 8, core.DefaultOptions())
+	coll, err := sim.Run(prog, sim.Config{Reduce: core.ReduceCollective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := sim.Run(prog, sim.Config{Reduce: core.ReducePrivatize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Stats.Messages >= coll.Stats.Messages {
+		t.Errorf("privatized moved %d messages, collective %d — expected strictly fewer",
+			priv.Stats.Messages, coll.Stats.Messages)
+	}
+	if priv.Time >= coll.Time {
+		t.Errorf("privatized time %v, collective %v — expected strictly faster", priv.Time, coll.Time)
+	}
+}

@@ -92,6 +92,7 @@ type Stats struct {
 	Broadcasts   int64
 	Shifts       int64
 	Reductions   int64
+	Merges       int64 // privatized-reduction tree merges (see TreeMerge)
 	PointToPoint int64
 	AllToAlls    int64
 
@@ -475,6 +476,53 @@ func (m *Machine) Reduce(set dist.ProcSet, bytes int64) {
 	}
 }
 
+// TreeMerge models the deterministic combining tree that merges privatized
+// reduction partials at loop exit: ceil(log2 k) rounds in which the loser of
+// each pair ships its partial row (bytes) to the winner. Unlike Reduce, no
+// result broadcast follows — under replicated interpretation every processor
+// folds the same partial tables locally, so the merged value is already
+// everywhere and the k-1 tree messages only verify agreement. All
+// participants synchronize. merged is the number of partial rows combined,
+// carried on the emitted Reduce event's Merged field.
+func (m *Machine) TreeMerge(set dist.ProcSet, bytes int64, merged int) {
+	procs := set.Procs()
+	k := len(procs)
+	if k < 2 {
+		return
+	}
+	rounds := int(math.Ceil(math.Log2(float64(k))))
+	m.Stats.Merges++
+	m.Stats.Messages += int64(k - 1)
+	m.Stats.BytesMoved += bytes * int64(k-1)
+	t := 0.0
+	for _, p := range procs {
+		if m.Clock[p] > t {
+			t = m.Clock[p]
+		}
+	}
+	start := t
+	t += float64(rounds) * (m.xferTime(bytes) + m.Params.Overhead)
+	t += m.collectiveFaultDelay(k-1, bytes)
+	for _, p := range procs {
+		m.Clock[p] = t
+	}
+	if m.Rec != nil && !m.FaultEventsOnly {
+		// One Reduce event per merge, at the tree root, stamped with the
+		// merged-row count so the trace distinguishes privatized merges from
+		// collective reductions.
+		tm := t
+		if m.Now != nil {
+			tm = m.Now()
+		}
+		m.Rec.Emit(0, trace.Event{
+			Time: tm, Dur: t - start, Bytes: bytes * int64(k-1),
+			Kind: trace.Reduce, Class: m.attrClass,
+			Proc: int32(procs[0]), Peer: -1, Stmt: m.attrStmt, Req: m.attrReq,
+			Merged: int32(merged),
+		})
+	}
+}
+
 // AllToAll models a full exchange among set with bytesPerProc leaving each
 // participant (e.g. a transpose/redistribution); acts as a barrier.
 func (m *Machine) AllToAll(set dist.ProcSet, bytesPerProc int64) {
@@ -619,9 +667,13 @@ func (m *Machine) Recover(p int, lost float64, refetchBytes, msgs int64) {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("msgs=%d bytes=%d bcast=%d shift=%d reduce=%d p2p=%d a2a=%d",
+	out := fmt.Sprintf("msgs=%d bytes=%d bcast=%d shift=%d reduce=%d p2p=%d a2a=%d",
 		s.Messages, s.BytesMoved, s.Broadcasts, s.Shifts, s.Reductions,
 		s.PointToPoint, s.AllToAlls)
+	if s.Merges > 0 {
+		out += fmt.Sprintf(" merge=%d", s.Merges)
+	}
+	return out
 }
 
 // FaultString renders the fault/recovery counters (empty when no fault

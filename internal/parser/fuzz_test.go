@@ -16,6 +16,8 @@ func FuzzParse(f *testing.F) {
 	f.Add(programs.APPSP(6, 6, 6, 1, true))
 	f.Add(programs.APPSP(6, 6, 6, 1, false))
 	f.Add(programs.Smooth(64, 2))
+	f.Add(programs.Histogram(64, 16, 2))
+	f.Add(programs.DotSweep(16, 12))
 	for _, src := range programs.Figures {
 		f.Add(src)
 	}

@@ -42,6 +42,9 @@ const (
 	// the inferred-NEW/lastprivate loop annotations the autopriv pass
 	// inserts from it).
 	FactAutoPriv
+	// FactReducePlan: Unit.ReducePlan, the collective-vs-privatized
+	// classification of every recognized reduction.
+	FactReducePlan
 
 	numFacts
 )
@@ -60,6 +63,8 @@ func (f Fact) String() string {
 		return "mapping"
 	case FactAutoPriv:
 		return "autopriv"
+	case FactReducePlan:
+		return "reduceplan"
 	}
 	return fmt.Sprintf("fact(%d)", int(f))
 }
@@ -69,7 +74,7 @@ func (f Fact) String() string {
 var derived = map[Fact][]Fact{
 	FactIR:     {FactCFG, FactMapping},
 	FactCFG:    {FactSSA},
-	FactSSA:    {FactConsts, FactAutoPriv},
+	FactSSA:    {FactConsts, FactAutoPriv, FactReducePlan},
 	FactConsts: {FactAutoPriv},
 }
 
@@ -92,6 +97,7 @@ type Unit struct {
 	Mapping    *dist.Mapping
 	Inductions []*dataflow.Induction
 	AutoPriv   *dataflow.PrivSummary
+	ReducePlan *dataflow.ReducePlan
 
 	// Diags accumulates the non-fatal diagnostics every pass emitted, in
 	// emission order.

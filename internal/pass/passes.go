@@ -118,6 +118,23 @@ func Slots() Pass {
 	}
 }
 
+// ReducePlan recognizes the program's reductions over the induction-rewritten
+// SSA and classifies each as privatizable or collective-only
+// (FactReducePlan). It runs after autopriv so recognition and the
+// exclusivity checks see the same rewritten program — with its inferred
+// annotations — that the mapping pass consumes.
+func ReducePlan() Pass {
+	return &Funcs{
+		PassName: "reduceplan",
+		Needs:    []Fact{FactIR, FactSSA, FactAutoPriv},
+		Makes:    []Fact{FactReducePlan},
+		RunFunc: func(u *Unit) error {
+			u.ReducePlan = dataflow.PlanReductions(u.Prog, dataflow.FindReductions(u.Prog, u.SSA))
+			return nil
+		},
+	}
+}
+
 // Mapping resolves the distribution directives leniently (FactMapping):
 // bad directives degrade to replication and surface as warning diagnostics.
 func Mapping() Pass {

@@ -41,10 +41,12 @@ func matchSlices(t *testing.T, got, want []float64, name string, tol float64) {
 
 func TestAllSourcesParseAndAnalyze(t *testing.T) {
 	srcs := map[string]string{
-		"tomcatv":  TOMCATV(17, 2),
-		"dgefa":    DGEFA(12),
-		"appsp-1d": APPSP(6, 8, 8, 2, false),
-		"appsp-2d": APPSP(6, 8, 8, 2, true),
+		"tomcatv":   TOMCATV(17, 2),
+		"dgefa":     DGEFA(12),
+		"appsp-1d":  APPSP(6, 8, 8, 2, false),
+		"appsp-2d":  APPSP(6, 8, 8, 2, true),
+		"histogram": Histogram(64, 16, 2),
+		"dotsweep":  DotSweep(16, 12),
 	}
 	for name, s := range Figures {
 		srcs[name] = s
@@ -57,6 +59,46 @@ func TestAllSourcesParseAndAnalyze(t *testing.T) {
 		}
 		if _, err := core.BuildAndAnalyze(ap, 4, core.DefaultOptions()); err != nil {
 			t.Errorf("%s: analyze: %v", name, err)
+		}
+	}
+}
+
+// TestReduceKernelNumerics: both reduce-sweep kernels produce the
+// sequential reference under every runtime reduction strategy. The
+// histogram accumulates integers (exact under any association); the
+// dot-product sweep's float sums are compared with a tolerance because the
+// privatized strategy legitimately reassociates them.
+func TestReduceKernelNumerics(t *testing.T) {
+	simulateReduce := func(src string, nprocs int, mode core.ReduceMode) *sim.Result {
+		t.Helper()
+		ap, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		res, err := core.BuildAndAnalyze(ap, nprocs, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		out, err := sim.Run(spmd.Generate(res), sim.Config{Reduce: mode})
+		if err != nil {
+			t.Fatalf("sim: %v", err)
+		}
+		return out
+	}
+	n, m, niter := 96, 16, 2
+	wantH := HistogramRef(n, m, niter)
+	wantR := DotSweepRef(24, 12)
+	for _, mode := range []core.ReduceMode{core.ReduceCollective, core.ReduceAuto, core.ReducePrivatize} {
+		out := simulateReduce(Histogram(n, m, niter), 4, mode)
+		matchSlices(t, out.Arrays["h"], wantH, "h/"+mode.String(), 0)
+		out = simulateReduce(DotSweep(24, 12), 4, mode)
+		matchSlices(t, out.Arrays["r"], wantR, "r/"+mode.String(), 1e-12)
+		priv := mode != core.ReduceCollective
+		if priv && out.Stats.Merges == 0 {
+			t.Errorf("%s: dotsweep ran without tree merges", mode)
+		}
+		if !priv && out.Stats.Merges != 0 {
+			t.Errorf("%s: dotsweep merged %d times, want 0", mode, out.Stats.Merges)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package programs
+
+import "fmt"
+
+// Histogram returns the commutative-update benchmark of the reduce sweep: a
+// block-distributed histogram h updated through the data-dependent
+// subscript h(key(i)) = h(key(i)) + 1. Many iterations hit the same bin, so
+// the update is a genuine cross-iteration array reduction: the collective
+// (owner-computes) reference pays per-instance general communication to
+// route every contribution to the bin's owner, while the privatized runtime
+// accumulates into local partials and tree-merges once at loop exit. Counts
+// are integers, so the two strategies agree bitwise despite reassociation.
+func Histogram(n, m, niter int) string {
+	return fmt.Sprintf(`
+program histogram
+parameter n = %d
+parameter m = %d
+parameter niter = %d
+real h(m)
+integer key(n)
+integer i, it
+!hpf$ distribute (block) :: h
+!hpf$ distribute (block) :: key
+do i = 1, n
+  key(i) = mod(i*17 + 3, m) + 1
+end do
+do it = 1, niter
+  do i = 1, n
+    h(key(i)) = h(key(i)) + 1.0
+  end do
+end do
+end
+`, n, m, niter)
+}
+
+// HistogramRef computes the histogram sequentially (bin b at index b-1).
+func HistogramRef(n, m, niter int) []float64 {
+	h := make([]float64, m)
+	for it := 1; it <= niter; it++ {
+		for i := 1; i <= n; i++ {
+			h[(i*17+3)%m]++
+		}
+	}
+	return h
+}
+
+// DotSweep returns the second reduce-sweep benchmark: a column-wise
+// dot-product sweep r(j) = r(j) + x(i-1,j)*y(i,j) carried by the i-loop,
+// where each outer iteration both produces row i of x and consumes the row
+// the previous iteration produced. The loop-carried read defeats both
+// message vectorization past the i-loop and array privatization of x, so
+// the collective reference pays one aggregated row exchange from the row's
+// owner to r's owners per outer iteration — O(n) exchanges. The privatized
+// runtime reads the row where it lives, folds the products into the
+// executing processor's partial copy of r, and tree-merges the P partials
+// once when the i-loop completes — O(log P) hops.
+func DotSweep(n, m int) string {
+	return fmt.Sprintf(`
+program dotsweep
+parameter n = %d
+parameter m = %d
+real x(n,m), y(n,m), r(m)
+integer i, j
+!hpf$ align y(i,j) with x(i,j)
+!hpf$ distribute (block,*) :: x
+!hpf$ distribute (block) :: r
+do i = 1, n
+  do j = 1, m
+    y(i,j) = mod(i*2 + j*7, 9) * 0.5
+  end do
+end do
+do j = 1, m
+  x(1,j) = mod(5 + j*3, 11) * 0.25
+end do
+do i = 2, n
+  do j = 1, m
+    x(i,j) = mod(i*5 + j*3, 11) * 0.25
+  end do
+  do j = 1, m
+    r(j) = r(j) + x(i-1,j) * y(i,j)
+  end do
+end do
+end
+`, n, m)
+}
+
+// DotSweepRef computes the sweep sequentially in loop order (column j at
+// index j-1) — the association the collective strategy reproduces.
+func DotSweepRef(n, m int) []float64 {
+	r := make([]float64, m)
+	for i := 2; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			x := float64(((i-1)*5+j*3)%11) * 0.25
+			y := float64((i*2+j*7)%9) * 0.5
+			r[j-1] += x * y
+		}
+	}
+	return r
+}

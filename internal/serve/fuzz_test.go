@@ -24,6 +24,11 @@ func FuzzServeRequest(f *testing.F) {
 		f.Add([]byte(fmt.Sprintf(`{"figure":%q,"procs":4,"chaos":{"seed":7,"loss_rate":0.05,"dup_rate":0.01,"checkpoint_interval":0.05}}`, fig)))
 	}
 	f.Add([]byte(fmt.Sprintf(`{"source":%q,"procs":4,"return_arrays":true}`, phpf.SmoothSource(16, 1))))
+	// The reduce-sweep kernels in every runtime reduction strategy,
+	// plus a strategy name the validator must reject.
+	f.Add([]byte(fmt.Sprintf(`{"source":%q,"procs":8,"reduce":"privatize"}`, phpf.HistogramSource(64, 16, 2))))
+	f.Add([]byte(fmt.Sprintf(`{"source":%q,"procs":4,"reduce":"collective","return_arrays":true}`, phpf.DotSweepSource(16, 12))))
+	f.Add([]byte(`{"figure":"figure1","procs":4,"reduce":"bogus"}`))
 	// ...and with malformed shapes the decoder must reject, not choke on.
 	f.Add([]byte(`{"figure":"figure1","procs":4`))
 	f.Add([]byte(`{"figure":"figure1","procs":4} trailing`))

@@ -33,6 +33,9 @@ type RunSpec struct {
 	// Privatize selects where privatization facts come from: "directives",
 	// "infer" (default), or "infer-strict".
 	Privatize string `json:"privatize,omitempty"`
+	// Reduce selects the runtime reduction strategy: "auto" (default),
+	// "collective", or "privatize". It is part of the cache key.
+	Reduce string `json:"reduce,omitempty"`
 	// Backend selects the execution backend for /v1/run: "sim" (default)
 	// or "concurrent". /v1/diff always runs both.
 	Backend string `json:"backend,omitempty"`
@@ -161,12 +164,21 @@ func (spec *RunSpec) validate(cfg Config, needBackend bool) (*validated, error) 
 	if err != nil {
 		return nil, err
 	}
+	reduce := phpf.ReduceAuto
+	if spec.Reduce != "" {
+		mode, ok := phpf.ParseReduceMode(spec.Reduce)
+		if !ok {
+			return nil, badRequest("unknown reduce %q (want auto, collective, or privatize)", spec.Reduce)
+		}
+		reduce = mode
+	}
 	v := &validated{
 		source: src,
-		key:    phpf.CacheKey(src, spec.Procs, opts),
+		key:    phpf.CacheKey(src, spec.Procs, opts, reduce),
 		procs:  spec.Procs,
 		opts:   opts,
 	}
+	v.run.Reduce = reduce
 
 	if needBackend {
 		name := spec.Backend

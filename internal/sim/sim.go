@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 
+	"phpf/internal/core"
 	"phpf/internal/dist"
 	"phpf/internal/eval"
 	"phpf/internal/fault"
@@ -58,6 +59,12 @@ type Config struct {
 	// unlimited; see eval.Budget). A breach fails the run with a coded
 	// E006 diagnostic before the image is allocated.
 	MaxCells int64
+	// Reduce selects the runtime reduction strategy: ReduceAuto (default)
+	// privatizes every reduction the reduceplan cleared, ReduceCollective
+	// forces the §2.3 collective for all of them, and ReducePrivatize
+	// demands privatization, failing the run (E005) if any recognized
+	// reduction is collective-only.
+	Reduce core.ReduceMode
 }
 
 // Validate rejects configurations that cannot describe a run, mirroring
@@ -80,6 +87,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxCells < 0 {
 		return fmt.Errorf("sim: MaxCells must be >= 0 (0 = unlimited), got %v", c.MaxCells)
+	}
+	if c.Reduce < core.ReduceAuto || c.Reduce > core.ReducePrivatize {
+		return fmt.Errorf("sim: unknown Reduce mode %d", int(c.Reduce))
 	}
 	return nil
 }
@@ -158,6 +168,9 @@ func RunContext(ctx context.Context, p *spmd.Program, cfg Config) (*Result, erro
 	}
 	st, err := eval.NewStateBudget(p, eval.Budget{MaxCells: cfg.MaxCells})
 	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := st.ConfigureReduce(cfg.Reduce, eval.Budget{MaxCells: cfg.MaxCells}); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	in := &interp{
@@ -310,6 +323,12 @@ func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 	}
 	for _, req := range lp.Hoisted {
 		req := req
+		// A privatized combine consumes its operands at the owners that
+		// accumulate them: no aggregated transfer happens on either backend.
+		if sp := in.prog.PlanOf(req.Stmt); sp != nil &&
+			in.st.PrivatizedActive(sp.Combine) && sp.Combine.Mapping == nil {
+			continue
+		}
 		if err := in.attribute(req.Stmt, func() error {
 			op, err := in.st.VectorizedOp(req, int64(in.cfg.Params.ElemBytes))
 			if err != nil {
@@ -335,15 +354,32 @@ func (in *interp) LoopEntry(l *ir.Loop, lp *spmd.LoopPlan) error {
 	return nil
 }
 
-// LoopExit charges the global reduction combines that run after the loop,
-// then the lastprivate copy-outs: the owner of the final iteration's value
-// broadcasts it, after which the scalar is replicated again.
+// LoopExit runs the reduction combines attached to the loop — privatized
+// combines merge their partial tables through the deterministic tree,
+// collective ones charge the §2.3 global reduction — then the lastprivate
+// copy-outs: the owner of the final iteration's value broadcasts it, after
+// which the scalar is replicated again.
 func (in *interp) LoopExit(l *ir.Loop, lp *spmd.LoopPlan) error {
-	for _, m := range lp.Combines {
-		set := in.st.PatternSet(m.Pattern, nil)
+	for _, c := range lp.Combines {
+		if in.st.PrivatizedActive(c) {
+			elems := in.st.PartialElems(c)
+			if _, err := in.st.MergePartials(c); err != nil {
+				return simError(err)
+			}
+			in.mach.SetAttr(c.Red.Stmt.ID, -1, dist.CommNone)
+			in.mach.TreeMerge(dist.AllProcs(in.st.Grid()),
+				elems*int64(in.cfg.Params.ElemBytes), in.prog.NProcs())
+			continue
+		}
+		if c.Mapping == nil {
+			// A collective elementwise reduction has no combine operation:
+			// its reference execution is plain per-instance owner-computes.
+			continue
+		}
+		set := in.st.PatternSet(c.Mapping.Pattern, nil)
 		stmt := -1
-		if m.Def != nil && m.Def.Stmt != nil {
-			stmt = m.Def.Stmt.ID
+		if c.Mapping.Def != nil && c.Mapping.Def.Stmt != nil {
+			stmt = c.Mapping.Def.Stmt.ID
 		}
 		in.mach.SetAttr(stmt, -1, dist.CommNone)
 		in.mach.Reduce(set, int64(in.cfg.Params.ElemBytes))
@@ -379,6 +415,29 @@ func (in *interp) Statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
 }
 
 func (in *interp) statement(st *ir.Stmt, sp *spmd.StmtPlan) error {
+	// A privatized elementwise reduction update accumulates into the partial
+	// row of the data owner: its per-instance communication disappears (the
+	// whole point — the collective reference ships every instance to the
+	// element's owner), and the compute charge lands on the data owners.
+	privArray := in.st.PrivatizedActive(sp.Combine) && sp.Combine.Mapping == nil
+	if privArray {
+		var execSet dist.ProcSet
+		var err error
+		if sp.Combine.Red.DataRef != nil {
+			execSet, err = in.st.OwnerSet(sp.Combine.Red.DataRef)
+		} else {
+			execSet, err = in.st.ExecSet(sp)
+		}
+		if err != nil {
+			return err
+		}
+		if sp.Flops > 0 {
+			in.mach.SetAttr(st.ID, -1, dist.CommNone)
+			in.mach.Compute(execSet, float64(sp.Flops)*in.cfg.Params.FlopTime)
+		}
+		in.mach.ClearAttr()
+		return nil
+	}
 	for _, req := range sp.PerInstance {
 		in.mach.SetAttr(st.ID, req.ID, req.Class)
 		op, err := in.st.InstanceOp(req, sp, int64(in.cfg.Params.ElemBytes))

@@ -257,19 +257,36 @@ do i = 1, n
 end do
 end
 `
-	out := run(t, src, 16, core.DefaultOptions())
-	for i := 1; i <= 32; i++ {
-		want := 0.0
-		for j := 1; j <= 32; j++ {
-			want += float64(i) + float64(j)
-		}
-		got := out.Arrays["b"][i-1]
-		if math.Abs(got-want) > 1e-9 {
-			t.Fatalf("b(%d) = %v, want %v", i, got, want)
+	check := func(out *Result) {
+		t.Helper()
+		for i := 1; i <= 32; i++ {
+			want := 0.0
+			for j := 1; j <= 32; j++ {
+				want += float64(i) + float64(j)
+			}
+			got := out.Arrays["b"][i-1]
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("b(%d) = %v, want %v", i, got, want)
+			}
 		}
 	}
-	if out.Stats.Reductions == 0 {
-		t.Error("expected reduction combines in stats")
+	// Default (auto) privatizes this sum: the combine shows up as tree merges.
+	out := run(t, src, 16, core.DefaultOptions())
+	check(out)
+	if out.Stats.Merges == 0 {
+		t.Error("expected privatized tree merges in stats under reduce=auto")
+	}
+	if out.Stats.Reductions != 0 {
+		t.Errorf("reductions = %d under reduce=auto, want 0 (privatized)", out.Stats.Reductions)
+	}
+	// Collective mode keeps the §2.3 log-P combining collective.
+	outC := runErr(t, src, 16, core.DefaultOptions(), Config{Reduce: core.ReduceCollective})
+	check(outC)
+	if outC.Stats.Reductions == 0 {
+		t.Error("expected reduction combines in stats under reduce=collective")
+	}
+	if outC.Stats.Merges != 0 {
+		t.Errorf("merges = %d under reduce=collective, want 0", outC.Stats.Merges)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"phpf/internal/ast"
 	"phpf/internal/comm"
 	"phpf/internal/core"
+	"phpf/internal/dataflow"
 	"phpf/internal/diag"
 	"phpf/internal/dist"
 	"phpf/internal/ir"
@@ -66,7 +67,38 @@ type StmtPlan struct {
 	// Flops is the statement's per-instance computation cost in floating
 	// point operations.
 	Flops int
+	// Combine links a reduction update statement to its loop-exit combine
+	// (nil for every other statement). When the runtime reduction mode
+	// privatizes the combine, the statement's instances accumulate into
+	// private partials instead of storing through the accumulator.
+	Combine *Combine
 }
+
+// Combine is one reduction whose merge runs at a loop's exit: either the
+// §2.3 global collective (today's behavior, the differential reference) or —
+// when the reduceplan cleared it and the runtime knob asks for it — a
+// deterministic tree merge of per-processor private partials.
+type Combine struct {
+	// Mapping is the §2.3 reduction-scalar mapping. Nil for elementwise
+	// array reductions, which have no scalar mapping (their collective
+	// reference is plain per-instance owner-computes execution).
+	Mapping *core.ScalarMapping
+	// Red is the recognized reduction driving the combine.
+	Red *dataflow.Reduction
+	// Privatizable: the reduceplan cleared this reduction for privatized
+	// execution. Whether the runtime uses it is decided per run
+	// (core.ReduceMode), so one compiled program serves both strategies.
+	Privatizable bool
+	// Reason says why not, when !Privatizable.
+	Reason string
+	// AccIndex is the dense index of this combine's private partial table
+	// in eval.State: assigned over privatizable combines in deterministic
+	// (loop ID, statement ID) order; -1 for collective-only combines.
+	AccIndex int
+}
+
+// Var returns the reduction target variable.
+func (c *Combine) Var() *ir.Var { return c.Red.Var }
 
 // LoopPlan carries the operations attached to a loop.
 type LoopPlan struct {
@@ -74,9 +106,8 @@ type LoopPlan struct {
 	// Hoisted communications performed once per instance of this loop
 	// (before the iterations).
 	Hoisted []*comm.Requirement
-	// Combines lists reduction mappings whose global combine runs after
-	// this loop completes.
-	Combines []*core.ScalarMapping
+	// Combines lists reductions whose merge runs after this loop completes.
+	Combines []*Combine
 	// CopyOuts lists lastprivate scalar mappings whose final-iteration
 	// value is broadcast from its owner after this loop completes (and
 	// after the Combines).
@@ -122,6 +153,16 @@ type Program struct {
 	// Recovery classifies every variable's post-crash restoration cost
 	// under the chosen mapping (see RecoveryClass).
 	Recovery map[*ir.Var]RecoveryClass
+	// NumAcc is the number of privatizable combines — the number of private
+	// partial tables a state configured for privatized reduction allocates.
+	NumAcc int
+	// ReducePlan is the resolved reduction classification the combines were
+	// built from (the pipeline's, or derived here for a Result built by
+	// calling Analyze directly). It covers every recognized reduction —
+	// including those with no combine attached, such as an unmapped scalar
+	// reduction or a collective-only array reduction — which is what a
+	// reduce=privatize demand must be validated against.
+	ReducePlan *dataflow.ReducePlan
 	// Diags are the diagnostics communication analysis and SPMD generation
 	// emitted (placement notes, generation fallbacks), in emission order.
 	Diags []diag.Diagnostic
@@ -192,7 +233,14 @@ func Generate(res *core.Result) *Program {
 		p.Loops[l] = lp
 		p.loopByID[l.ID] = lp
 	}
-	// Attach reduction combines to their outermost carried loop.
+	// The reduceplan classification normally rides the pipeline result; a
+	// Result built by calling Analyze directly derives it here.
+	rp := res.ReducePlan
+	if rp == nil {
+		rp = dataflow.PlanReductions(res.Prog, res.Reductions)
+	}
+	p.ReducePlan = rp
+	// Attach scalar reduction combines to their outermost carried loop.
 	for _, m := range res.Scalars {
 		if m.Kind != core.ScalarReduction || len(m.RedGridDims) == 0 || m.Red == nil {
 			continue
@@ -203,13 +251,39 @@ func Generate(res *core.Result) *Program {
 		outer := m.Red.Loops[len(m.Red.Loops)-1]
 		lp := p.Loops[outer]
 		if lp != nil {
-			lp.Combines = append(lp.Combines, m)
+			c := &Combine{Mapping: m, Red: m.Red, AccIndex: -1}
+			if d := rp.Of(m.Red.Stmt); d != nil {
+				c.Privatizable = d.Privatizable
+				c.Reason = d.Reason
+			} else {
+				c.Reason = "not classified by the reduceplan"
+			}
+			lp.Combines = append(lp.Combines, c)
 		} else {
 			p.Diags = append(p.Diags, diag.Warningf("spmd", diag.CodeScalarFallback,
 				m.Def.Var.Name, m.Red.Stmt.Pos(),
 				"no loop plan for the %s-loop; global combine for %s stays per-iteration",
 				outer.Index.Name, m.Def.Var.Name))
 		}
+	}
+	// Attach privatizable elementwise (array) reduction combines. Their
+	// collective reference is plain owner-computes execution — no scalar
+	// mapping, no collective combine — so only the privatized path attaches
+	// an operation here, and only when the runtime knob enables it.
+	for _, d := range rp.Decisions {
+		if !d.Red.IsArray() || !d.Privatizable {
+			continue
+		}
+		outer := d.Red.Loops[len(d.Red.Loops)-1]
+		lp := p.Loops[outer]
+		if lp == nil {
+			p.Diags = append(p.Diags, diag.Warningf("spmd", diag.CodeScalarFallback,
+				d.Red.Var.Name, d.Red.Stmt.Pos(),
+				"no loop plan for the %s-loop; elementwise reduction %s stays collective",
+				outer.Index.Name, d.Red.Var.Name))
+			continue
+		}
+		lp.Combines = append(lp.Combines, &Combine{Red: d.Red, Privatizable: true, AccIndex: -1})
 	}
 	// Attach lastprivate copy-outs to their privatization loop.
 	for _, m := range res.Scalars {
@@ -228,11 +302,29 @@ func Generate(res *core.Result) *Program {
 	}
 	for _, lp := range p.Loops {
 		sort.Slice(lp.Combines, func(i, j int) bool {
-			return lp.Combines[i].Def.ID < lp.Combines[j].Def.ID
+			return lp.Combines[i].Red.Stmt.ID < lp.Combines[j].Red.Stmt.ID
 		})
 		sort.Slice(lp.CopyOuts, func(i, j int) bool {
 			return lp.CopyOuts[i].Def.ID < lp.CopyOuts[j].Def.ID
 		})
+	}
+	// Number the privatizable combines densely in (loop ID, statement ID)
+	// order — the partial-table index every backend and every processor
+	// derives identically — and link each combine back to its update
+	// statement's plan so the interpreter can route instances into partials.
+	for _, lp := range p.loopByID {
+		if lp == nil {
+			continue
+		}
+		for _, c := range lp.Combines {
+			if c.Privatizable {
+				c.AccIndex = p.NumAcc
+				p.NumAcc++
+			}
+			if sp := p.stmtByID[c.Red.Stmt.ID]; sp != nil {
+				sp.Combine = c
+			}
+		}
 	}
 	p.Recovery = recoveryClasses(res)
 	p.Diags = append(p.Diags, plan.Diags...)
@@ -372,8 +464,13 @@ func (p *Program) Dump() string {
 				fmt.Fprintf(&b, "%sdo %s\n", ind(depth), x.Index.Name)
 				walk(x.Body, depth+1)
 				fmt.Fprintf(&b, "%send do\n", ind(depth))
-				for _, m := range lp.Combines {
-					fmt.Fprintf(&b, "%s[combine %s over grid dims %v]\n", ind(depth), m.Def.Var.Name, m.RedGridDims)
+				for _, c := range lp.Combines {
+					if c.Mapping != nil {
+						fmt.Fprintf(&b, "%s[combine %s over grid dims %v%s]\n",
+							ind(depth), c.Var().Name, c.Mapping.RedGridDims, combineNote(c))
+					} else {
+						fmt.Fprintf(&b, "%s[combine array %s%s]\n", ind(depth), c.Var().Name, combineNote(c))
+					}
 				}
 				for _, m := range lp.CopyOuts {
 					fmt.Fprintf(&b, "%s[copy-out %s from owner(%s)]\n", ind(depth), m.Def.Var.Name, m.Target)
@@ -393,6 +490,14 @@ func (p *Program) Dump() string {
 	}
 	walk(p.Res.Prog.Body, 0)
 	return b.String()
+}
+
+// combineNote renders a combine's reduceplan classification for Dump.
+func combineNote(c *Combine) string {
+	if c.Privatizable {
+		return "; privatizable"
+	}
+	return "; collective-only: " + c.Reason
 }
 
 func (p *Program) dumpStmt(b *strings.Builder, st *ir.Stmt, depth int) {

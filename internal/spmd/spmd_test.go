@@ -110,8 +110,8 @@ end
 	if lp == nil || len(lp.Combines) != 1 {
 		t.Fatalf("j-loop combines = %v, want 1", lp)
 	}
-	if lp.Combines[0].Def.Var.Name != "s" {
-		t.Errorf("combine var = %s", lp.Combines[0].Def.Var.Name)
+	if lp.Combines[0].Var().Name != "s" {
+		t.Errorf("combine var = %s", lp.Combines[0].Var().Name)
 	}
 	// The update statement executes on the owners of a(i,j).
 	for _, st := range p.Res.Prog.Stmts {

@@ -112,6 +112,11 @@ type Event struct {
 	// the communication matrix stay identical to the simulator's
 	// per-instance emission.
 	Count int32
+	// Merged is the number of private partial rows a privatized-reduction
+	// tree merge combined (Reduce events only; 0 for collective reductions).
+	// It is carried separately from Count so merge events never perturb the
+	// planned-message accounting above.
+	Merged int32
 }
 
 // Options configures a Recorder.
@@ -186,6 +191,9 @@ type Recorder struct {
 	// from*nprocs+to), counting planned point-to-point deliveries.
 	matMsgs  []atomic.Int64
 	matBytes []atomic.Int64
+	// merged is the exact total of Event.Merged across Reduce events — the
+	// number of partial rows privatized tree merges combined.
+	merged atomic.Int64
 }
 
 // New creates a recorder for nprocs processors with nshards independent
@@ -263,6 +271,9 @@ func (r *Recorder) Emit(sh int, e Event) {
 		n = 1
 	}
 	r.kindCnt[e.Kind].Add(n)
+	if e.Kind == Reduce && e.Merged > 0 {
+		r.merged.Add(int64(e.Merged))
+	}
 	if e.Kind == Send && e.Req >= 0 {
 		// Exact planned-communication accounting: per-class counters, the
 		// pairwise matrix, and the per-statement histogram.
@@ -332,6 +343,15 @@ func (r *Recorder) KindCount(k Kind) int64 {
 		return 0
 	}
 	return r.kindCnt[k].Load()
+}
+
+// MergedCount returns the exact total number of partial rows privatized
+// tree merges combined (the sum of Event.Merged over Reduce events).
+func (r *Recorder) MergedCount() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.merged.Load()
 }
 
 // Events returns the stored events: each shard's ring in chronological

@@ -124,6 +124,29 @@ const (
 // "infer", or "infer-strict".
 func ParsePrivMode(s string) (PrivMode, bool) { return core.ParsePrivMode(s) }
 
+// ReduceMode selects the runtime reduction strategy (see core.ReduceMode):
+// the §2.3 collective combine, per-processor privatized partials merged in a
+// deterministic tree at loop exit, or the automatic choice driven by the
+// reduceplan analysis.
+type ReduceMode = core.ReduceMode
+
+// Reduction strategies.
+const (
+	// ReduceAuto privatizes every reduction the reduceplan analysis cleared
+	// and leaves the rest collective (the default).
+	ReduceAuto = core.ReduceAuto
+	// ReduceCollective runs every reduction through the log-P combining
+	// collective — the differential reference strategy.
+	ReduceCollective = core.ReduceCollective
+	// ReducePrivatize demands privatization: any recognized reduction the
+	// analysis could not clear fails the run with a coded E005 diagnostic.
+	ReducePrivatize = core.ReducePrivatize
+)
+
+// ParseReduceMode parses a CLI/API reduce-mode name: "auto", "collective",
+// or "privatize".
+func ParseReduceMode(s string) (ReduceMode, bool) { return core.ParseReduceMode(s) }
+
 // SelectedOptions is the full compiler of §2.2–§4 (Table 1 "Selected
 // Alignment", Table 2 "Alignment", Table 3 privatization columns).
 func SelectedOptions() Options { return core.DefaultOptions() }
@@ -158,17 +181,20 @@ type Compiled struct {
 	SPMD   *spmd.Program
 }
 
-// CacheKey returns a stable content hash identifying a compilation input:
-// two calls with the same source text, processor count, and option set
-// return the same key, and any difference in them changes it. Serving
-// layers key compiled-program caches on it (compile once, serve many);
-// because the key covers the full input, a hit can reuse the Compiled
-// without revalidation.
-func CacheKey(source string, nprocs int, opts Options) string {
+// CacheKey returns a stable content hash identifying a compilation input
+// plus the reduction strategy it will run under: two calls with the same
+// source text, processor count, option set, and reduce mode return the same
+// key, and any difference in them changes it. Serving layers key
+// compiled-program caches on it (compile once, serve many); because the key
+// covers the full input, a hit can reuse the Compiled without revalidation.
+// The reduce mode is part of the key even though one Compiled can execute
+// under any strategy: serving paths attach per-entry execution defaults to
+// cache entries, so entries for different strategies must not collide.
+func CacheKey(source string, nprocs int, opts Options, reduce ReduceMode) string {
 	h := sha256.New()
 	// The version tag invalidates every cached key when the encoding (or
 	// the meaning of an option) changes incompatibly.
-	fmt.Fprintf(h, "phpf-cache-v2\x00procs=%d\x00opts=%+v\x00", nprocs, opts)
+	fmt.Fprintf(h, "phpf-cache-v3\x00procs=%d\x00opts=%+v\x00reduce=%s\x00", nprocs, opts, reduce)
 	h.Write([]byte(source))
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -234,6 +260,15 @@ type RunOptions struct {
 	// hoisted-communication boundaries; the concurrent executor takes real
 	// barrier-aligned snapshots it can restart from after a crash.
 	CheckpointInterval float64
+
+	// Reduce selects the runtime reduction strategy, identically on both
+	// backends: ReduceAuto (the default) privatizes every reduction the
+	// reduceplan analysis cleared, ReduceCollective forces the §2.3
+	// combining collective everywhere, and ReducePrivatize additionally
+	// fails with a coded E005 diagnostic if any recognized reduction is
+	// collective-only. Runs under different strategies reassociate floating
+	// point differently; integer-valued reductions agree across strategies.
+	Reduce ReduceMode
 
 	// Workers is the concurrent backend's worker count (0 = the program's
 	// processor count; any other value but the processor count itself is
@@ -309,6 +344,9 @@ func (o RunOptions) Validate() error {
 	}
 	if o.MaxCells < 0 {
 		return bad("MaxCells must be >= 0 (0 = unlimited), got %d", o.MaxCells)
+	}
+	if o.Reduce < ReduceAuto || o.Reduce > ReducePrivatize {
+		return bad("Reduce must be ReduceAuto, ReduceCollective, or ReducePrivatize, got %d", int(o.Reduce))
 	}
 	return nil
 }
@@ -416,6 +454,7 @@ func (simulatorBackend) Run(ctx context.Context, p *spmd.Program, opts RunOption
 		Profile:            opts.Profile,
 		Fault:              opts.Fault,
 		CheckpointInterval: opts.CheckpointInterval,
+		Reduce:             opts.Reduce,
 		Trace:              opts.Trace,
 		MaxCells:           opts.MaxCells,
 	})
@@ -455,6 +494,7 @@ func (concurrentBackend) Run(ctx context.Context, p *spmd.Program, opts RunOptio
 		CheckpointInterval: opts.CheckpointInterval,
 		MaxRestarts:        opts.MaxRestarts,
 		HardCrashes:        opts.HardCrashes,
+		Reduce:             opts.Reduce,
 		MaxCells:           opts.MaxCells,
 	})
 	if err != nil {
@@ -506,6 +546,7 @@ func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, erro
 		Trace:              opts.Trace,
 		Fault:              opts.Fault,
 		CheckpointInterval: opts.CheckpointInterval,
+		Reduce:             opts.Reduce,
 	}
 	rep, err := d.Run(ctx, c.SPMD)
 	if err != nil {
@@ -518,95 +559,9 @@ func (c *Compiled) Diff(ctx context.Context, opts RunOptions) (*DiffReport, erro
 	return rep, nil
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated entry points (thin wrappers over the Backend API)
-
-// RunConfig configures a simulation.
-//
-// Deprecated: use RunOptions with Execute and the Simulator() backend.
-type RunConfig struct {
-	// Params are the machine cost parameters (SP2Params() when zero).
-	Params MachineParams
-	// MaxSeconds aborts once simulated time exceeds it (0 = unlimited) —
-	// the paper's "> 1 day (aborted)" entries.
-	MaxSeconds float64
-	// Profile collects per-statement time attribution (RunResult.Profile).
-	Profile bool
-	// Fault, when non-nil and active, injects deterministic faults
-	// (message loss/duplication, slowdowns, crashes). Nil or inactive plans
-	// reproduce the fault-free run exactly.
-	Fault *FaultPlan
-	// CheckpointInterval enables coordinated checkpointing every so many
-	// simulated seconds, at hoisted-communication boundaries (0 = off; a
-	// crash then recovers from time 0).
-	CheckpointInterval float64
-}
-
-// RunResult is the outcome of a simulated execution.
-//
-// Deprecated: use Report, the backend-independent result of Execute.
-type RunResult = sim.Result
-
-// Run executes the compiled program on the simulated machine.
-//
-// Deprecated: use Execute with the Simulator() backend, which is also
-// context-aware.
-func (c *Compiled) Run(cfg RunConfig) (*RunResult, error) {
-	return sim.Run(c.SPMD, sim.Config{
-		Params:             cfg.Params,
-		MaxSeconds:         cfg.MaxSeconds,
-		Profile:            cfg.Profile,
-		Fault:              cfg.Fault,
-		CheckpointInterval: cfg.CheckpointInterval,
-	})
-}
-
-// ExecConfig configures the concurrent execution backend (see exec.Config).
-//
-// Deprecated: use RunOptions with Execute and the Concurrent() backend.
-type ExecConfig = exec.Config
-
-// ExecResult is the outcome of a concurrent execution (see exec.Result).
-//
-// Deprecated: use Report, the backend-independent result of Execute.
-type ExecResult = exec.Result
-
 // DiffReport is the outcome of a differential sim-vs-exec run (see
 // exec.DiffReport).
 type DiffReport = exec.DiffReport
-
-// RunConcurrent executes the compiled program on the concurrent SPMD
-// backend.
-//
-// Deprecated: use Execute with the Concurrent() backend.
-func (c *Compiled) RunConcurrent(ctx context.Context, cfg ExecConfig) (*ExecResult, error) {
-	return exec.Run(ctx, c.SPMD, cfg)
-}
-
-// DiffBackends runs the program through both the sequential simulator and
-// the concurrent executor and compares numeric results and communication
-// statistics bit-for-bit — the differential oracle that keeps the two
-// backends honest. simCfg must be fault-free with checkpointing off;
-// violations return a coded E005 diagnostic instead of being forwarded.
-//
-// Deprecated: use Diff, which also supports traced comparison.
-func (c *Compiled) DiffBackends(ctx context.Context, simCfg RunConfig, execCfg ExecConfig) (*DiffReport, error) {
-	if simCfg.Fault.Active() {
-		return nil, configErr("differ", "the differential oracle requires a fault-free simulator config (Fault was set)")
-	}
-	if simCfg.CheckpointInterval > 0 {
-		return nil, configErr("differ", "the differential oracle requires checkpointing off (CheckpointInterval was %v)", simCfg.CheckpointInterval)
-	}
-	d := exec.Differ{
-		Sim: sim.Config{
-			Params:     simCfg.Params,
-			MaxSeconds: simCfg.MaxSeconds,
-			Profile:    simCfg.Profile,
-		},
-		Exec: execCfg,
-	}
-	return d.Run(ctx, c.SPMD)
-}
 
 // Diags returns every non-fatal diagnostic the compilation emitted —
 // analysis degradations (skipped directives, alignment fallbacks) followed
@@ -638,14 +593,6 @@ func FormatHotStatements(hot []StmtProfile, n int) string {
 			p.Stmt.Line, p.Instances, p.Seconds, p.Stmt.ID, p.Stmt.Kind)
 	}
 	return b.String()
-}
-
-// FormatProfile renders a hot-statement table.
-//
-// Deprecated: use FormatHotStatements (this alias renders the runtime
-// statement view, not the compile-time Profile()).
-func FormatProfile(prof []sim.StmtProfile, n int) string {
-	return FormatHotStatements(prof, n)
 }
 
 // DumpSPMD renders the generated SPMD program (guards and communication).
@@ -754,6 +701,36 @@ func (c *Compiled) ExplainPriv() string {
 	return b.String()
 }
 
+// ReducePlanReport renders the reduceplan classification: one line per
+// recognized reduction with the static privatizable-vs-collective decision
+// and the strategy the given runtime mode would actually use. A privatize
+// line marked E005 is the configuration both backends reject at run time
+// (ReducePrivatize demands every reduction leave the collective path).
+// phpfc -reduce prints it.
+func (c *Compiled) ReducePlanReport(mode ReduceMode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reduce mode: %s\n", mode)
+	rp := c.Result.ReducePlan
+	if rp == nil || len(rp.Decisions) == 0 {
+		b.WriteString("no recognized reductions\n")
+		return b.String()
+	}
+	for _, d := range rp.Decisions {
+		switch {
+		case !d.Privatizable && mode == ReducePrivatize:
+			fmt.Fprintf(&b, "%s (%s): E005 — %s\n", d.Red.Var.Name, d.Red.Op, d.Reason)
+		case !d.Privatizable:
+			fmt.Fprintf(&b, "%s (%s): collective — %s\n", d.Red.Var.Name, d.Red.Op, d.Reason)
+		case mode == ReduceCollective:
+			fmt.Fprintf(&b, "%s (%s): collective (privatizable; mode forces collective)\n",
+				d.Red.Var.Name, d.Red.Op)
+		default:
+			fmt.Fprintf(&b, "%s (%s): privatized\n", d.Red.Var.Name, d.Red.Op)
+		}
+	}
+	return b.String()
+}
+
 // CommReport summarizes the communication plan.
 func (c *Compiled) CommReport() string {
 	p := c.SPMD.Plan
@@ -792,6 +769,15 @@ func APPSPSource(nx, ny, nz, niter int, twoD bool) string {
 // SmoothSource returns the quickstart example's three-point smoothing
 // kernel: the smallest program with real nearest-neighbor communication.
 func SmoothSource(n, niter int) string { return programs.Smooth(n, niter) }
+
+// HistogramSource returns the reduce sweep's commutative-update histogram
+// kernel: h(key(i)) = h(key(i)) + 1 through a data-dependent subscript. Its
+// counts are integers, so every reduction strategy reproduces it exactly.
+func HistogramSource(n, m, niter int) string { return programs.Histogram(n, m, niter) }
+
+// DotSweepSource returns the reduce sweep's dot-product sweep kernel:
+// r(j) = r(j) + x(i,j)*y(i,j) carried by the i-loop.
+func DotSweepSource(n, m int) string { return programs.DotSweep(n, m) }
 
 // FigureSource returns one of the paper's figure examples ("figure1",
 // "figure2", "figure4", "figure5", "figure6", "figure7").

@@ -1,6 +1,7 @@
 package phpf
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -24,7 +25,7 @@ end
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Run(RunConfig{})
+	out, err := c.Execute(context.Background(), Simulator(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,20 +170,20 @@ func TestProfileAttribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Run(RunConfig{Profile: true})
+	out, err := c.Execute(context.Background(), Simulator(), RunOptions{Profile: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Profile) == 0 {
+	if len(out.HotStatements) == 0 {
 		t.Fatal("empty profile")
 	}
-	for i := 1; i < len(out.Profile); i++ {
-		if out.Profile[i].Seconds > out.Profile[i-1].Seconds {
+	for i := 1; i < len(out.HotStatements); i++ {
+		if out.HotStatements[i].Seconds > out.HotStatements[i-1].Seconds {
 			t.Fatal("profile not sorted by descending seconds")
 		}
 	}
 	var total float64
-	for _, p := range out.Profile {
+	for _, p := range out.HotStatements {
 		total += p.Seconds
 		if p.Instances <= 0 {
 			t.Errorf("statement s%d profiled with %d instances", p.Stmt.ID, p.Instances)
@@ -192,14 +193,14 @@ func TestProfileAttribution(t *testing.T) {
 		t.Error("no time attributed")
 	}
 	// Profiling must not change the result.
-	plain, err := c.Run(RunConfig{})
+	plain, err := c.Execute(context.Background(), Simulator(), RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plain.Time != out.Time {
 		t.Errorf("profiling changed simulated time: %v vs %v", out.Time, plain.Time)
 	}
-	s := FormatProfile(out.Profile, 5)
+	s := FormatHotStatements(out.HotStatements, 5)
 	if !strings.Contains(s, "assign") {
 		t.Errorf("formatted profile:\n%s", s)
 	}

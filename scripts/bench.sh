@@ -16,7 +16,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-^(BenchmarkTable|BenchmarkSimulatorThroughput|BenchmarkRecoveryOverhead|BenchmarkServe|BenchmarkCompileInfer)}"
+pattern="${BENCH_PATTERN:-^(BenchmarkTable|BenchmarkSimulatorThroughput|BenchmarkRecoveryOverhead|BenchmarkServe|BenchmarkCompileInfer|BenchmarkReducePrivatization)}"
 mode="${1:-run}"
 
 # last_baseline prints the highest-numbered BENCH_<n>.json known to git.

@@ -9,6 +9,17 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Deprecated-API gate: the legacy execution surface (Compiled.Run,
+# Compiled.RunConcurrent, Compiled.DiffBackends, FormatProfile, and the
+# RunConfig/RunResult/ExecConfig/ExecResult types) was retired in favor of
+# Execute/Diff + RunOptions. Fail if any such declaration reappears —
+# matching declarations only, so prose mentions in doc comments stay legal.
+if grep -rnE 'func \(c \*Compiled\) (Run|RunConcurrent|DiffBackends|FormatProfile)\(|\b(type|func) +(RunConfig|RunResult|ExecConfig|ExecResult|DiffBackends|FormatProfile)\b' \
+    --include='*.go' .; then
+    echo "check: deprecated execution API symbols reappeared (use Execute/Diff + RunOptions)" >&2
+    exit 1
+fi
+
 # Fuzz smoke: a small budget per front-end target, enough to catch gross
 # regressions in the robustness contracts (never panic, positioned errors)
 # without turning the gate into a fuzzing campaign. Go allows one -fuzz

@@ -5,6 +5,7 @@ package phpf
 // faster/slower networks and CPUs.
 
 import (
+	"context"
 	"testing"
 )
 
@@ -35,7 +36,7 @@ func timeWith(t *testing.T, src string, procs int, opts Options, p MachineParams
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.Run(RunConfig{Params: p})
+	out, err := c.Execute(context.Background(), Simulator(), RunOptions{Params: p})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -156,21 +156,28 @@ func TestCompiledConcurrentReuse(t *testing.T) {
 }
 
 // TestCacheKeyStability pins the cache key's discriminants: source, procs,
-// and options all partition the key space; identical inputs collide.
+// options, and the reduce mode all partition the key space; identical
+// inputs collide.
 func TestCacheKeyStability(t *testing.T) {
 	src := SmoothSource(16, 1)
-	k := CacheKey(src, 4, SelectedOptions())
-	if k != CacheKey(src, 4, SelectedOptions()) {
+	k := CacheKey(src, 4, SelectedOptions(), ReduceAuto)
+	if k != CacheKey(src, 4, SelectedOptions(), ReduceAuto) {
 		t.Fatal("identical inputs must produce identical keys")
 	}
-	if k == CacheKey(src+" ", 4, SelectedOptions()) {
+	if k == CacheKey(src+" ", 4, SelectedOptions(), ReduceAuto) {
 		t.Fatal("source must discriminate the key")
 	}
-	if k == CacheKey(src, 8, SelectedOptions()) {
+	if k == CacheKey(src, 8, SelectedOptions(), ReduceAuto) {
 		t.Fatal("procs must discriminate the key")
 	}
-	if k == CacheKey(src, 4, NaiveOptions()) {
+	if k == CacheKey(src, 4, NaiveOptions(), ReduceAuto) {
 		t.Fatal("options must discriminate the key")
+	}
+	// cache-v3 regression: flipping only the reduce mode must miss — cache
+	// entries carry per-strategy execution defaults, so a v2-style key that
+	// ignored the mode would serve the wrong strategy on a hit.
+	if k == CacheKey(src, 4, SelectedOptions(), ReduceCollective) {
+		t.Fatal("reduce mode must discriminate the key")
 	}
 	if len(k) != 64 {
 		t.Fatalf("key is %d hex chars, want 64 (sha256)", len(k))

@@ -90,31 +90,57 @@ type Table1Row struct {
 	Selected    Cell
 }
 
-// withPriv applies an optional privatization-mode override to one column's
-// option set; without an override the column keeps the ambient default
-// (inference on). The table builders take the override as a trailing
-// variadic so existing callers stay source-compatible.
-func withPriv(o Options, mode []PrivMode) Options {
-	if len(mode) > 0 {
-		o.Privatization = mode[0]
+// TableConfig adjusts how the table builders run every cell: an optional
+// privatization-mode override (phpfbench -privatize) and the runtime
+// reduction strategy (phpfbench -reduce). The builders take it as a trailing
+// variadic so callers that want the defaults pass nothing.
+type TableConfig struct {
+	// Priv, when non-nil, overrides the compile-time privatization mode;
+	// otherwise each column keeps the ambient default (inference on).
+	Priv *PrivMode
+	// Reduce selects the runtime reduction strategy for every run
+	// (ReduceAuto by default).
+	Reduce ReduceMode
+}
+
+// tableCfg collapses the trailing variadic to one effective config.
+func tableCfg(cfg []TableConfig) TableConfig {
+	if len(cfg) > 0 {
+		return cfg[0]
+	}
+	return TableConfig{}
+}
+
+// apply folds the config's compile-time override into one column's options.
+func (tc TableConfig) apply(o Options) Options {
+	if tc.Priv != nil {
+		o.Privatization = *tc.Priv
 	}
 	return o
 }
 
+// runOpts builds the per-cell run configuration carrying the config's
+// runtime knobs.
+func (tc TableConfig) runOpts(maxSeconds float64) *RunOptions {
+	return &RunOptions{MaxSeconds: maxSeconds, Reduce: tc.Reduce}
+}
+
 // Table1TOMCATV reproduces Table 1: TOMCATV execution time under
 // replication, producer alignment, and selected alignment. maxSeconds
-// bounds each simulated run (0 = unlimited); an optional privatization
-// mode applies to every column (phpfbench -privatize).
-func Table1TOMCATV(n, niter int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Table1Row, error) {
+// bounds each simulated run (0 = unlimited); an optional TableConfig
+// applies to every column (phpfbench -privatize / -reduce).
+func Table1TOMCATV(n, niter int, procs []int, maxSeconds float64, cfg ...TableConfig) ([]Table1Row, error) {
 	src := TOMCATVSource(n, niter)
+	tc := tableCfg(cfg)
+	run := tc.runOpts(maxSeconds)
 	rows := make([]Table1Row, len(procs))
 	var jobs []cellJob
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src, p, withPriv(NaiveOptions(), mode), &rows[i].Replication, nil},
-			cellJob{src, p, withPriv(ProducerOptions(), mode), &rows[i].Producer, nil},
-			cellJob{src, p, withPriv(SelectedOptions(), mode), &rows[i].Selected, nil})
+			cellJob{src, p, tc.apply(NaiveOptions()), &rows[i].Replication, run},
+			cellJob{src, p, tc.apply(ProducerOptions()), &rows[i].Producer, run},
+			cellJob{src, p, tc.apply(SelectedOptions()), &rows[i].Selected, run})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -144,10 +170,12 @@ type Table2Row struct {
 	Aligned Cell // §2.3 mapping
 }
 
-// Table2DGEFA reproduces Table 2. An optional privatization mode applies to
-// both columns (phpfbench -privatize).
-func Table2DGEFA(n int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Table2Row, error) {
+// Table2DGEFA reproduces Table 2. An optional TableConfig applies to both
+// columns (phpfbench -privatize / -reduce).
+func Table2DGEFA(n int, procs []int, maxSeconds float64, cfg ...TableConfig) ([]Table2Row, error) {
 	src := DGEFASource(n)
+	tc := tableCfg(cfg)
+	run := tc.runOpts(maxSeconds)
 	defOpts := SelectedOptions()
 	defOpts.AlignReductions = false
 	rows := make([]Table2Row, len(procs))
@@ -155,8 +183,8 @@ func Table2DGEFA(n int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Ta
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src, p, withPriv(defOpts, mode), &rows[i].Default, nil},
-			cellJob{src, p, withPriv(SelectedOptions(), mode), &rows[i].Aligned, nil})
+			cellJob{src, p, tc.apply(defOpts), &rows[i].Default, run},
+			cellJob{src, p, tc.apply(SelectedOptions()), &rows[i].Aligned, run})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -190,9 +218,11 @@ type Table3Row struct {
 // Table3APPSP reproduces Table 3. maxSeconds bounds each run; the no-priv
 // configurations are expected to hit it (the paper aborted them after a
 // day).
-func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64, mode ...PrivMode) ([]Table3Row, error) {
+func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64, cfg ...TableConfig) ([]Table3Row, error) {
 	src1 := APPSPSource(nx, ny, nz, niter, false)
 	src2 := APPSPSource(nx, ny, nz, niter, true)
+	tc := tableCfg(cfg)
+	run := tc.runOpts(maxSeconds)
 	noPriv := SelectedOptions()
 	noPriv.PrivatizeArrays = false
 	noPartial := SelectedOptions()
@@ -202,10 +232,10 @@ func Table3APPSP(nx, ny, nz, niter int, procs []int, maxSeconds float64, mode ..
 	for i, p := range procs {
 		rows[i].Procs = p
 		jobs = append(jobs,
-			cellJob{src1, p, withPriv(noPriv, mode), &rows[i].OneDNoPriv, nil},
-			cellJob{src1, p, withPriv(SelectedOptions(), mode), &rows[i].OneDPriv, nil},
-			cellJob{src2, p, withPriv(noPartial, mode), &rows[i].TwoDNoPartial, nil},
-			cellJob{src2, p, withPriv(SelectedOptions(), mode), &rows[i].TwoDPartial, nil})
+			cellJob{src1, p, tc.apply(noPriv), &rows[i].OneDNoPriv, run},
+			cellJob{src1, p, tc.apply(SelectedOptions()), &rows[i].OneDPriv, run},
+			cellJob{src2, p, tc.apply(noPartial), &rows[i].TwoDNoPartial, run},
+			cellJob{src2, p, tc.apply(SelectedOptions()), &rows[i].TwoDPartial, run})
 	}
 	if err := runCells(jobs, maxSeconds); err != nil {
 		return nil, err
@@ -293,6 +323,69 @@ func FormatTable3(nx, ny, nz, niter int, rows []Table3Row) string {
 }
 
 // ---------------------------------------------------------------------------
+// Reduce sweep — collective vs privatized commutative updates.
+
+// ReduceSweepRow is one reduce-heavy kernel at one processor count, measured
+// under both runtime reduction strategies on the same compiled program.
+type ReduceSweepRow struct {
+	Program    string
+	Procs      int
+	Collective Cell // every contribution routed to the owner per instance
+	Privatized Cell // local partials, one deterministic tree merge at exit
+}
+
+// Speedup is the collective time over the privatized time.
+func (r ReduceSweepRow) Speedup() float64 {
+	if r.Privatized.Seconds == 0 {
+		return 0
+	}
+	return r.Collective.Seconds / r.Privatized.Seconds
+}
+
+// ReduceSweep measures every program under ReduceCollective and
+// ReducePrivatize at every processor count: the O(iterations) per-instance
+// collectives of the owner-computes reference against the O(log P) merge
+// hops of the privatized runtime. maxSeconds bounds each run (0 =
+// unlimited). phpfbench -reduce-sweep prints it.
+func ReduceSweep(progs []DiffProgram, procs []int, maxSeconds float64) ([]ReduceSweepRow, error) {
+	rows := make([]ReduceSweepRow, len(progs)*len(procs))
+	var jobs []cellJob
+	for i, p := range progs {
+		for k, np := range procs {
+			r := &rows[i*len(procs)+k]
+			r.Program, r.Procs = p.Name, np
+			jobs = append(jobs,
+				cellJob{p.Source, np, SelectedOptions(), &r.Collective,
+					&RunOptions{MaxSeconds: maxSeconds, Reduce: ReduceCollective}},
+				cellJob{p.Source, np, SelectedOptions(), &r.Privatized,
+					&RunOptions{MaxSeconds: maxSeconds, Reduce: ReducePrivatize}})
+		}
+	}
+	if err := runCells(jobs, maxSeconds); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatReduceSweep renders the reduce sweep: per kernel and processor
+// count, the simulated time and modeled message count of each strategy, the
+// privatized runtime's tree merges, and the speedup.
+func FormatReduceSweep(rows []ReduceSweepRow) string {
+	var b strings.Builder
+	b.WriteString("Reduce sweep — collective vs privatized commutative updates (simulated time)\n")
+	fmt.Fprintf(&b, "%-28s %6s %14s %9s %14s %9s %7s %8s\n",
+		"program", "#Procs", "collective(s)", "msgs", "privatized(s)", "msgs", "merges", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %6d %14s %9d %14s %9d %7d %7.1fx\n",
+			r.Program, r.Procs,
+			r.Collective.String(), r.Collective.Stats.Messages,
+			r.Privatized.String(), r.Privatized.Stats.Messages,
+			r.Privatized.Stats.Merges, r.Speedup())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
 // Differential oracle sweep — concurrent executor vs sequential simulator.
 
 // DiffProgram names one source program for a differential sweep.
@@ -338,7 +431,7 @@ func DiffSweep(ctx context.Context, progs []DiffProgram, procs []int) ([]DiffSwe
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/p%d: %w", p.Name, s.name, np, err)
 				}
-				rep, err := c.DiffBackends(ctx, RunConfig{}, ExecConfig{})
+				rep, err := c.Diff(ctx, RunOptions{})
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/p%d: %w", p.Name, s.name, np, err)
 				}
